@@ -1,0 +1,58 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+These are conventional pytest-benchmark micro-benchmarks (many rounds) that
+track the throughput of the pieces every experiment depends on: the fast
+cache engine, the placement hashes and the EVT fit.  They are not paper
+artefacts, but regressions here multiply directly into the campaign times of
+every other bench.
+"""
+
+import pytest
+
+from repro.cache.fastsim import CompiledTrace, FastHierarchySimulator
+from repro.core.placement import PlacementGeometry, make_placement
+from repro.mbpta.evt import fit_gumbel
+from repro.mbpta.protocol import apply_mbpta
+from repro.platform.leon3 import platform_setup
+from repro.workloads.eembc import eembc_trace
+
+
+@pytest.fixture(scope="module")
+def compiled_a2time():
+    return CompiledTrace(eembc_trace("a2time"))
+
+
+def test_fast_engine_single_run(benchmark, compiled_a2time):
+    simulator = FastHierarchySimulator(platform_setup("rm"), compiled_a2time)
+    result = benchmark(simulator.run, 42)
+    assert result.cycles > 0
+
+
+@pytest.mark.parametrize("policy", ["modulo", "xor", "hrp", "rm"])
+def test_placement_throughput(benchmark, policy):
+    geometry = PlacementGeometry(num_sets=128, line_size=32)
+    placement = make_placement(policy, geometry, seed=7)
+    addresses = list(range(0x40000000, 0x40000000 + 64 * 1024, 32))
+
+    def map_all():
+        return [placement.set_index(address) for address in addresses]
+
+    indices = benchmark(map_all)
+    assert all(0 <= index < 128 for index in indices)
+
+
+def test_trace_generation_throughput(benchmark):
+    trace = benchmark(lambda: eembc_trace("matrix"))
+    assert len(trace) > 1000
+
+
+def test_gumbel_fit_throughput(benchmark):
+    samples = [20000.0 + (i * 37 % 450) for i in range(1000)]
+    fit = benchmark(lambda: fit_gumbel(samples, block_size=20))
+    assert fit.scale > 0
+
+
+def test_mbpta_protocol_throughput(benchmark):
+    samples = [20000.0 + (i * 37 % 450) + (i % 7) for i in range(1000)]
+    result = benchmark(lambda: apply_mbpta(samples))
+    assert result.pwcet_at(1e-15) > max(samples) * 0.99

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""ASIC and FPGA cost comparison of the placement modules (Table 1).
+
+Builds the gate-level netlists of the hRP hash and the Random Modulo
+permutation network for a range of cache sizes, costs them against the
+generic 45 nm library, and shows the FPGA integration estimate for the
+4-core LEON3 prototype.
+
+Run with:  python examples/hardware_costs.py
+"""
+
+from repro.analysis import format_table
+from repro.core.placement import PlacementGeometry
+from repro.hardware import hrp_module_cost, integrate_on_fpga, rm_module_cost
+
+
+def main() -> None:
+    rows = []
+    for num_sets in (64, 128, 256, 512, 1024):
+        geometry = PlacementGeometry(num_sets=num_sets, line_size=32)
+        hrp = hrp_module_cost(geometry)
+        rm = rm_module_cost(geometry)
+        rows.append(
+            (
+                num_sets,
+                f"{rm.logic_area_um2:,.0f}",
+                f"{hrp.logic_area_um2:,.0f}",
+                round(hrp.logic_area_um2 / rm.logic_area_um2, 1),
+                f"{rm.delay_ns:.2f}",
+                f"{hrp.delay_ns:.2f}",
+                f"{(1 - rm.delay_ns / hrp.delay_ns) * 100:.0f}%",
+            )
+        )
+    print(
+        format_table(
+            ["sets", "RM area", "hRP area", "hRP/RM", "RM delay", "hRP delay", "RM delay gain"],
+            rows,
+            title="ASIC cost model (um^2 / ns) versus cache size",
+        )
+    )
+
+    print()
+    geometry = PlacementGeometry(num_sets=128, line_size=32)
+    fpga_rows = []
+    for cost in (rm_module_cost(geometry), hrp_module_cost(geometry)):
+        integration = integrate_on_fpga(cost)
+        fpga_rows.append(
+            (
+                cost.name,
+                f"{integration.occupancy * 100:.1f}%",
+                f"{integration.frequency_mhz:.0f} MHz",
+                integration.added_alms,
+            )
+        )
+    print(
+        format_table(
+            ["design", "occupancy", "board clock", "added ALMs"],
+            fpga_rows,
+            title="FPGA integration in all caches of the 4-core LEON3 prototype (baseline 70% / 100 MHz)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

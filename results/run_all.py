@@ -1,0 +1,28 @@
+"""Generate the reference results quoted in EXPERIMENTS.md."""
+import json, time
+from repro.analysis import (ExperimentSettings, experiment_table1, experiment_table2,
+    experiment_fig1, experiment_fig4a, experiment_fig4b, experiment_fig5,
+    experiment_avg_performance, experiment_footprint_ablation, experiment_replacement_ablation)
+from repro.workloads.synthetic import SYNTHETIC_FOOTPRINTS
+
+s = ExperimentSettings(runs=300)
+out = {}
+def record(name, fn):
+    t0 = time.time()
+    result = fn()
+    out[name] = {"seconds": round(time.time()-t0,1)}
+    print("="*80); print(f"## {name}  ({out[name]['seconds']}s)"); print(result.format()); print(flush=True)
+    return result
+
+record("table1", lambda: experiment_table1())
+record("table2", lambda: experiment_table2(s))
+record("fig1", lambda: experiment_fig1(s))
+f4a = record("fig4a", lambda: experiment_fig4a(s))
+record("fig4b", lambda: experiment_fig4b(s))
+record("fig5_20KB", lambda: experiment_fig5(s))
+record("fig5_8KB", lambda: experiment_fig5(s, footprint_bytes=SYNTHETIC_FOOTPRINTS["fits_l1"]))
+record("fig5_160KB", lambda: experiment_fig5(ExperimentSettings(runs=150), footprint_bytes=SYNTHETIC_FOOTPRINTS["exceeds_l2"], iterations=4))
+record("avg_perf", lambda: experiment_avg_performance(s))
+record("ablation_footprint", lambda: experiment_footprint_ablation(ExperimentSettings(runs=150)))
+record("ablation_replacement", lambda: experiment_replacement_ablation(ExperimentSettings(runs=150)))
+print("ALL DONE")

@@ -1,0 +1,121 @@
+"""Reproduction of *Random Modulo: a New Processor Cache Design for
+Real-Time Critical Systems* (Hernández et al., DAC 2016).
+
+The package is organised in layers (see DESIGN.md):
+
+* :mod:`repro.core` — the paper's contribution: placement policies (modulo,
+  XOR, hRP, Random Modulo), permutation networks and hardware-style PRNGs.
+* :mod:`repro.cache` — set-associative cache and hierarchy models plus the
+  fast campaign engine.
+* :mod:`repro.cpu` — memory-access traces, a small ISA with assembler and
+  interpreter, and the trace-driven timing core.
+* :mod:`repro.workloads` — EEMBC Automotive stand-ins and the synthetic
+  vector kernel.
+* :mod:`repro.mbpta` — EVT/Gumbel fitting, i.i.d. admission tests and the
+  MBPTA protocol.
+* :mod:`repro.hardware` — ASIC and FPGA cost models for the placement
+  modules (Table 1).
+* :mod:`repro.analysis` — measurement campaigns and one driver per paper
+  table/figure.
+* :mod:`repro.platform` — LEON3-like platform configuration factories.
+
+Quickstart
+----------
+>>> from repro import platform_setup, eembc_trace, run_campaign, apply_mbpta
+>>> trace = eembc_trace("a2time")
+>>> campaign = run_campaign(trace, platform_setup("rm"), runs=100, master_seed=1)
+>>> result = apply_mbpta(campaign.execution_times)
+>>> round(result.pwcet_at(1e-15))  # doctest: +SKIP
+"""
+
+from .analysis import (
+    CampaignResult,
+    ExperimentSettings,
+    experiment_avg_performance,
+    experiment_fig1,
+    experiment_fig4a,
+    experiment_fig4b,
+    experiment_fig5,
+    experiment_table1,
+    experiment_table2,
+    high_water_mark,
+    industrial_bound,
+    run_campaign,
+    run_layout_campaign,
+)
+from .cache import (
+    CacheConfig,
+    CacheHierarchy,
+    HierarchyConfig,
+    MemoryTimings,
+    SetAssociativeCache,
+)
+from .core import (
+    HashRandomPlacement,
+    ModuloPlacement,
+    MultiLfsrPrng,
+    PlacementGeometry,
+    RandomModuloPlacement,
+    make_placement,
+)
+from .cpu import Trace, TraceDrivenCore, assemble, run_program
+from .mbpta import MbptaConfig, MbptaResult, apply_mbpta, fit_gumbel
+from .platform import Leon3Parameters, leon3_hierarchy, platform_setup
+from .workloads import (
+    MemoryLayout,
+    eembc_kernel_names,
+    eembc_trace,
+    synthetic_vector_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # analysis
+    "CampaignResult",
+    "ExperimentSettings",
+    "experiment_avg_performance",
+    "experiment_fig1",
+    "experiment_fig4a",
+    "experiment_fig4b",
+    "experiment_fig5",
+    "experiment_table1",
+    "experiment_table2",
+    "high_water_mark",
+    "industrial_bound",
+    "run_campaign",
+    "run_layout_campaign",
+    # cache
+    "CacheConfig",
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "MemoryTimings",
+    "SetAssociativeCache",
+    # core
+    "HashRandomPlacement",
+    "ModuloPlacement",
+    "MultiLfsrPrng",
+    "PlacementGeometry",
+    "RandomModuloPlacement",
+    "make_placement",
+    # cpu
+    "Trace",
+    "TraceDrivenCore",
+    "assemble",
+    "run_program",
+    # mbpta
+    "MbptaConfig",
+    "MbptaResult",
+    "apply_mbpta",
+    "fit_gumbel",
+    # platform
+    "Leon3Parameters",
+    "leon3_hierarchy",
+    "platform_setup",
+    # workloads
+    "MemoryLayout",
+    "eembc_kernel_names",
+    "eembc_trace",
+    "synthetic_vector_trace",
+]

@@ -1,0 +1,102 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table1
+    python -m repro run fig4a --runs 200
+    python -m repro run all --runs 100 --scale 0.5
+
+Each experiment id corresponds to one table/figure of the paper (see
+DESIGN.md's per-experiment index); the output is the same plain-text table
+the matching benchmark prints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+from typing import Callable, Dict
+
+from .analysis.experiments import (
+    ExperimentSettings,
+    experiment_avg_performance,
+    experiment_fig1,
+    experiment_fig4a,
+    experiment_fig4b,
+    experiment_fig5,
+    experiment_footprint_ablation,
+    experiment_replacement_ablation,
+    experiment_table1,
+    experiment_table2,
+)
+
+#: Experiment id -> (description, driver taking ExperimentSettings).
+EXPERIMENTS: Dict[str, tuple] = {
+    "table1": ("ASIC & FPGA implementation results", lambda s: experiment_table1()),
+    "table2": ("MBPTA compliance (WW/KS) for EEMBC under RM", experiment_table2),
+    "fig1": ("EVT projection / pWCET curve", experiment_fig1),
+    "fig4a": ("RM pWCET normalised to hRP", experiment_fig4a),
+    "fig4b": ("RM pWCET vs deterministic high-water mark", experiment_fig4b),
+    "fig5": ("Synthetic kernel distributions and pWCET", experiment_fig5),
+    "avg_perf": ("Average performance of RM vs modulo", experiment_avg_performance),
+    "ablation_seg": ("Footprint sweep ablation", experiment_footprint_ablation),
+    "ablation_repl": ("Replacement-policy ablation", experiment_replacement_ablation),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of the Random Modulo paper (DAC 2016).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    run.add_argument("--runs", type=int, default=None, help="measurement runs per campaign")
+    run.add_argument("--scale", type=float, default=None, help="workload iteration scale factor")
+    run.add_argument("--seed", type=int, default=None, help="campaign master seed")
+    return parser
+
+
+def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
+    settings = ExperimentSettings.from_env()
+    if args.runs is not None:
+        settings = replace(settings, runs=args.runs)
+    if args.scale is not None:
+        settings = replace(settings, scale=args.scale)
+    if args.seed is not None:
+        settings = replace(settings, master_seed=args.seed)
+    return settings
+
+
+def _run_one(identifier: str, settings: ExperimentSettings) -> None:
+    description, driver = EXPERIMENTS[identifier]
+    print(f"== {identifier}: {description}")
+    start = time.time()
+    result = driver(settings)
+    print(result.format())
+    print(f"-- {identifier} finished in {time.time() - start:.1f}s\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+    settings = _settings_from_args(args)
+    targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for identifier in targets:
+        _run_one(identifier, settings)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

@@ -1,0 +1,748 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+Every driver returns a small result object with the raw numbers plus a
+``format()`` method that renders the same rows/series the paper reports.
+The benchmark harnesses in ``benchmarks/`` call these drivers (timing them
+with pytest-benchmark) and print the formatted output, and
+``EXPERIMENTS.md`` records paper-vs-measured values produced this way.
+
+Experiment ids (see DESIGN.md):
+
+* ``table1`` — ASIC and FPGA implementation results.
+* ``table2`` — Wald-Wolfowitz / KS i.i.d. results for the EEMBC stand-ins.
+* ``fig1``   — illustrative pWCET/CCDF projection.
+* ``fig4a``  — RM pWCET normalised to hRP per EEMBC benchmark.
+* ``fig4b``  — RM pWCET versus the deterministic high-water mark.
+* ``fig5``   — execution-time distributions and pWCET curves of the
+  synthetic kernel.
+* ``avg_perf`` — average performance of RM versus modulo.
+* plus two ablations called out in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cache.hierarchy import HierarchyConfig
+from ..core.placement import PlacementGeometry
+from ..cpu.trace import Trace
+from ..hardware import (
+    FpgaDevice,
+    integrate_on_fpga,
+    hrp_module_cost,
+    rm_module_cost,
+)
+from ..mbpta.evt import empirical_ccdf
+from ..mbpta.protocol import MbptaConfig, MbptaResult, apply_mbpta
+from ..platform.leon3 import Leon3Parameters, platform_setup
+from ..workloads.base import MemoryLayout
+from ..workloads.eembc import eembc_kernel_names, eembc_trace
+from ..workloads.synthetic import SYNTHETIC_FOOTPRINTS, synthetic_vector_trace
+from .campaign import CampaignResult, run_campaign, run_layout_campaign
+from .hwm import industrial_bound
+from .report import format_ccdf, format_histogram, format_table
+
+__all__ = [
+    "ExperimentSettings",
+    "Table1Result",
+    "Table2Result",
+    "Fig1Result",
+    "Fig4aResult",
+    "Fig4bResult",
+    "Fig5Result",
+    "AveragePerformanceResult",
+    "FootprintAblationResult",
+    "ReplacementAblationResult",
+    "experiment_table1",
+    "experiment_table2",
+    "experiment_fig1",
+    "experiment_fig4a",
+    "experiment_fig4b",
+    "experiment_fig5",
+    "experiment_avg_performance",
+    "experiment_footprint_ablation",
+    "experiment_replacement_ablation",
+]
+
+
+# ---------------------------------------------------------------------------
+# Settings
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Campaign size and reproducibility knobs shared by all experiments.
+
+    The paper collects 1000 measurement runs per benchmark; the default here
+    is 300 to keep a full benchmark sweep tractable on a laptop-class
+    machine running a pure-Python simulator.  Set the environment variable
+    ``REPRO_FULL=1`` (or ``REPRO_RUNS=<n>``) to run at paper scale.
+    """
+
+    runs: int = 300
+    master_seed: int = 20160605
+    scale: float = 1.0
+    engine: str = "fast"
+    cutoff: float = 1e-15
+    secondary_cutoff: float = 1e-12
+    mbpta: MbptaConfig = field(default_factory=MbptaConfig)
+    parameters: Leon3Parameters = field(default_factory=Leon3Parameters)
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ExperimentSettings":
+        """Build settings from ``REPRO_RUNS`` / ``REPRO_FULL`` / ``REPRO_SCALE``."""
+        settings = cls(**overrides)
+        if os.environ.get("REPRO_FULL", "").strip() in ("1", "true", "yes"):
+            settings = replace(settings, runs=1000)
+        runs = os.environ.get("REPRO_RUNS", "").strip()
+        if runs:
+            settings = replace(settings, runs=int(runs))
+        scale = os.environ.get("REPRO_SCALE", "").strip()
+        if scale:
+            settings = replace(settings, scale=float(scale))
+        return settings
+
+    def setup(self, name: str) -> HierarchyConfig:
+        """The named LEON3 cache setup with this experiment's parameters."""
+        return platform_setup(name, parameters=self.parameters)
+
+
+def _mbpta_for(
+    campaign: CampaignResult, settings: ExperimentSettings
+) -> MbptaResult:
+    config = replace(
+        settings.mbpta,
+        exceedance_probabilities=(settings.secondary_cutoff, settings.cutoff),
+    )
+    return apply_mbpta(campaign.execution_times, config=config)
+
+
+def _benchmark_campaign(
+    benchmark: str,
+    setup: str,
+    settings: ExperimentSettings,
+    seed_offset: int = 0,
+) -> CampaignResult:
+    trace = eembc_trace(benchmark, scale=settings.scale)
+    return run_campaign(
+        trace,
+        settings.setup(setup),
+        runs=settings.runs,
+        master_seed=settings.master_seed + seed_offset,
+        setup=setup,
+        engine=settings.engine,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — ASIC & FPGA implementation results
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Table1Result:
+    """Reproduction of Table 1."""
+
+    asic: Dict[str, Dict[str, object]]
+    fpga: Dict[str, Dict[str, object]]
+    area_ratio: float
+    delay_reduction: float
+
+    def format(self) -> str:
+        asic_rows = [
+            (
+                name,
+                values["logic_area_um2"],
+                values["total_area_um2"],
+                values["delay_ns"],
+            )
+            for name, values in self.asic.items()
+        ]
+        fpga_rows = [
+            (name, values["occupancy_percent"], values["frequency_mhz"])
+            for name, values in self.fpga.items()
+        ]
+        parts = [
+            format_table(
+                ["module", "logic area (um^2)", "area incl. tag bits", "delay (ns)"],
+                asic_rows,
+                title="Table 1 (ASIC, 45nm-class model, 128-set cache)",
+            ),
+            "",
+            format_table(
+                ["design", "occupancy (%)", "frequency (MHz)"],
+                fpga_rows,
+                title="Table 1 (FPGA, Stratix IV-class model, all caches)",
+            ),
+            "",
+            f"RM/hRP area ratio: {self.area_ratio:.1f}x smaller; "
+            f"delay reduction: {self.delay_reduction * 100:.0f}%",
+        ]
+        return "\n".join(parts)
+
+
+def experiment_table1(
+    num_sets: int = 128,
+    line_size: int = 32,
+    device: Optional[FpgaDevice] = None,
+) -> Table1Result:
+    """Reproduce Table 1 for a cache with ``num_sets`` sets."""
+    geometry = PlacementGeometry(num_sets=num_sets, line_size=line_size)
+    hrp = hrp_module_cost(geometry)
+    rm = rm_module_cost(geometry)
+    fpga_hrp = integrate_on_fpga(hrp, device=device)
+    fpga_rm = integrate_on_fpga(rm, device=device)
+    baseline = device or FpgaDevice()
+    fpga = {
+        "baseline": {
+            "occupancy_percent": round(baseline.baseline_occupancy * 100, 1),
+            "frequency_mhz": baseline.baseline_frequency_mhz,
+        },
+        "RM": fpga_rm.as_dict(),
+        "hRP": fpga_hrp.as_dict(),
+    }
+    return Table1Result(
+        asic={"RM": rm.as_dict(), "hRP": hrp.as_dict()},
+        fpga=fpga,
+        area_ratio=hrp.logic_area_um2 / rm.logic_area_um2,
+        delay_reduction=1.0 - rm.delay_ns / hrp.delay_ns,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — MBPTA compliance (WW and KS) for EEMBC under RM
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Table2Result:
+    """Reproduction of Table 2: i.i.d. admission tests under Random Modulo."""
+
+    rows: Dict[str, Dict[str, float]]
+    ww_critical: float = 1.96
+    ks_threshold: float = 0.05
+
+    @property
+    def all_passed(self) -> bool:
+        return all(row["passed"] for row in self.rows.values())
+
+    def format(self) -> str:
+        table_rows = [
+            (
+                benchmark,
+                round(row["ww"], 2),
+                round(row["ks"], 2),
+                round(row["et"], 3),
+                "yes" if row["passed"] else "NO",
+            )
+            for benchmark, row in self.rows.items()
+        ]
+        return format_table(
+            ["benchmark", "WW", "KS p-value", "ET", "i.i.d. ok"],
+            table_rows,
+            title=(
+                "Table 2: independence (WW < 1.96) and identical distribution "
+                "(KS p > 0.05) under RM"
+            ),
+        )
+
+
+def experiment_table2(settings: Optional[ExperimentSettings] = None) -> Table2Result:
+    """Run every EEMBC stand-in under the RM setup and apply the i.i.d. tests."""
+    settings = settings or ExperimentSettings()
+    rows: Dict[str, Dict[str, float]] = {}
+    for offset, benchmark in enumerate(eembc_kernel_names()):
+        campaign = _benchmark_campaign(benchmark, "rm", settings, seed_offset=offset)
+        result = _mbpta_for(campaign, settings)
+        assessment = result.assessment
+        rows[benchmark] = {
+            "ww": assessment.independence.statistic,
+            "ks": assessment.identical_distribution.p_value,
+            "et": assessment.gumbel_convergence.statistic,
+            # Table 2 of the paper reports the WW and KS outcomes; the ET
+            # statistic is kept as an informative extra column.
+            "passed": float(
+                assessment.independence.passed
+                and assessment.identical_distribution.passed
+            ),
+        }
+    return Table2Result(rows=rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — illustrative pWCET projection
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig1Result:
+    """Reproduction of Figure 1: an EVT projection in CCDF form."""
+
+    benchmark: str
+    empirical: List[Tuple[float, float]]
+    projected: List[Tuple[float, float]]
+    pwcet: Dict[float, float]
+
+    def format(self) -> str:
+        parts = [
+            format_ccdf(self.empirical[-10:], title=f"Empirical CCDF tail ({self.benchmark})"),
+            "",
+            format_ccdf(self.projected, title="Projected pWCET curve (Gumbel tail)"),
+            "",
+            format_table(
+                ["cutoff probability", "pWCET (cycles)"],
+                [(f"{p:g}", f"{v:,.0f}") for p, v in sorted(self.pwcet.items(), reverse=True)],
+            ),
+        ]
+        return "\n".join(parts)
+
+
+def experiment_fig1(
+    settings: Optional[ExperimentSettings] = None,
+    benchmark: str = "a2time",
+) -> Fig1Result:
+    """Produce the empirical CCDF and its EVT projection for one benchmark."""
+    settings = settings or ExperimentSettings()
+    campaign = _benchmark_campaign(benchmark, "rm", settings)
+    result = _mbpta_for(campaign, settings)
+    projected = result.curve.ccdf_points(min_probability=1e-16, points_per_decade=1)
+    cutoffs = (1e-3, 1e-6, 1e-9, settings.secondary_cutoff, settings.cutoff)
+    return Fig1Result(
+        benchmark=benchmark,
+        empirical=empirical_ccdf(campaign.execution_times),
+        projected=projected,
+        pwcet={probability: result.pwcet_at(probability) for probability in cutoffs},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4(a) — RM pWCET normalised to hRP
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig4aResult:
+    """Reproduction of Figure 4(a)."""
+
+    rows: Dict[str, Dict[str, float]]
+    cutoff: float
+    secondary_cutoff: float
+
+    @property
+    def average_reduction(self) -> float:
+        """Mean pWCET reduction of RM w.r.t. hRP at the primary cutoff."""
+        ratios = [row["ratio"] for row in self.rows.values()]
+        return 1.0 - sum(ratios) / len(ratios)
+
+    @property
+    def best_reduction(self) -> float:
+        return 1.0 - min(row["ratio"] for row in self.rows.values())
+
+    @property
+    def worst_reduction(self) -> float:
+        return 1.0 - max(row["ratio"] for row in self.rows.values())
+
+    def format(self) -> str:
+        table_rows = [
+            (
+                benchmark,
+                f"{row['pwcet_rm']:,.0f}",
+                f"{row['pwcet_hrp']:,.0f}",
+                round(row["ratio"], 3),
+                f"{(1.0 - row['ratio']) * 100:.1f}%",
+            )
+            for benchmark, row in self.rows.items()
+        ]
+        summary = (
+            f"average pWCET reduction of RM vs hRP @ {self.cutoff:g}: "
+            f"{self.average_reduction * 100:.1f}% "
+            f"(best {self.best_reduction * 100:.1f}%, worst {self.worst_reduction * 100:.1f}%)"
+        )
+        return "\n".join(
+            [
+                format_table(
+                    ["benchmark", "pWCET RM", "pWCET hRP", "RM/hRP", "reduction"],
+                    table_rows,
+                    title=f"Figure 4(a): RM pWCET normalised to hRP (cutoff {self.cutoff:g})",
+                ),
+                "",
+                summary,
+            ]
+        )
+
+
+def experiment_fig4a(settings: Optional[ExperimentSettings] = None) -> Fig4aResult:
+    """pWCET of RM vs hRP for every EEMBC stand-in."""
+    settings = settings or ExperimentSettings()
+    rows: Dict[str, Dict[str, float]] = {}
+    for offset, benchmark in enumerate(eembc_kernel_names()):
+        rm_campaign = _benchmark_campaign(benchmark, "rm", settings, seed_offset=offset)
+        hrp_campaign = _benchmark_campaign(
+            benchmark, "hrp", settings, seed_offset=offset + 1000
+        )
+        rm_result = _mbpta_for(rm_campaign, settings)
+        hrp_result = _mbpta_for(hrp_campaign, settings)
+        pwcet_rm = rm_result.pwcet_at(settings.cutoff)
+        pwcet_hrp = hrp_result.pwcet_at(settings.cutoff)
+        rows[benchmark] = {
+            "pwcet_rm": pwcet_rm,
+            "pwcet_hrp": pwcet_hrp,
+            "ratio": pwcet_rm / pwcet_hrp,
+            "pwcet_rm_secondary": rm_result.pwcet_at(settings.secondary_cutoff),
+            "pwcet_hrp_secondary": hrp_result.pwcet_at(settings.secondary_cutoff),
+        }
+    return Fig4aResult(
+        rows=rows, cutoff=settings.cutoff, secondary_cutoff=settings.secondary_cutoff
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4(b) — RM pWCET versus the deterministic high-water mark
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig4bResult:
+    """Reproduction of Figure 4(b)."""
+
+    rows: Dict[str, Dict[str, float]]
+    cutoff: float
+    engineering_margin: float = 0.20
+
+    @property
+    def worst_ratio(self) -> float:
+        return max(row["pwcet_over_hwm"] for row in self.rows.values())
+
+    def format(self) -> str:
+        table_rows = [
+            (
+                benchmark,
+                f"{row['pwcet_rm']:,.0f}",
+                f"{row['det_hwm']:,.0f}",
+                f"{(row['pwcet_over_hwm'] - 1.0) * 100:+.1f}%",
+                "yes" if row["within_margin"] else "NO",
+            )
+            for benchmark, row in self.rows.items()
+        ]
+        return "\n".join(
+            [
+                format_table(
+                    [
+                        "benchmark",
+                        "pWCET RM",
+                        "deterministic hwm",
+                        "pWCET vs hwm",
+                        f"below hwm+{self.engineering_margin * 100:.0f}%",
+                    ],
+                    table_rows,
+                    title="Figure 4(b): RM pWCET versus deterministic high-water mark",
+                ),
+                "",
+                f"worst pWCET/hwm ratio: {(self.worst_ratio - 1.0) * 100:+.1f}% "
+                f"(industrial margin is +{self.engineering_margin * 100:.0f}%)",
+            ]
+        )
+
+
+def experiment_fig4b(settings: Optional[ExperimentSettings] = None) -> Fig4bResult:
+    """RM pWCET compared with the HWM of the deterministic (modulo) setup."""
+    settings = settings or ExperimentSettings()
+    layout_runs = max(min(settings.runs, 200), 20)
+    rows: Dict[str, Dict[str, float]] = {}
+    for offset, benchmark in enumerate(eembc_kernel_names()):
+        rm_campaign = _benchmark_campaign(benchmark, "rm", settings, seed_offset=offset)
+        rm_result = _mbpta_for(rm_campaign, settings)
+        pwcet_rm = rm_result.pwcet_at(settings.cutoff)
+
+        deterministic = run_layout_campaign(
+            lambda layout, name=benchmark: eembc_trace(name, layout=layout, scale=settings.scale),
+            settings.setup("modulo"),
+            runs=layout_runs,
+            master_seed=settings.master_seed + 5000 + offset,
+            setup="modulo",
+            engine=settings.engine,
+        )
+        bound = industrial_bound(deterministic.execution_times, settings_margin(settings))
+        rows[benchmark] = {
+            "pwcet_rm": pwcet_rm,
+            "det_hwm": bound.hwm,
+            "pwcet_over_hwm": bound.pwcet_ratio(pwcet_rm),
+            "within_margin": float(bound.within_margin(pwcet_rm)),
+        }
+    return Fig4bResult(rows=rows, cutoff=settings.cutoff)
+
+
+def settings_margin(settings: ExperimentSettings) -> float:
+    """Engineering margin used for the industrial bound (20 % in the paper)."""
+    return 0.20
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — synthetic kernel distributions and pWCET curves
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig5Result:
+    """Reproduction of Figure 5 (plus the 8 KB / 160 KB variants of the text)."""
+
+    footprint_bytes: int
+    samples: Dict[str, List[int]]
+    pwcet: Dict[str, Dict[float, float]]
+    curves: Dict[str, List[Tuple[float, float]]]
+
+    def format(self) -> str:
+        parts = []
+        for setup, values in self.samples.items():
+            parts.append(
+                format_histogram(
+                    values,
+                    bins=15,
+                    title=(
+                        f"Figure 5: execution-time distribution, "
+                        f"{self.footprint_bytes // 1024}KB footprint, {setup}"
+                    ),
+                )
+            )
+            parts.append("")
+        pwcet_rows = []
+        for setup, cutoffs in self.pwcet.items():
+            for probability, value in sorted(cutoffs.items(), reverse=True):
+                pwcet_rows.append((setup, f"{probability:g}", f"{value:,.0f}"))
+        parts.append(
+            format_table(
+                ["setup", "cutoff", "pWCET (cycles)"],
+                pwcet_rows,
+                title="Figure 5(c): pWCET estimates",
+            )
+        )
+        return "\n".join(parts)
+
+
+def experiment_fig5(
+    settings: Optional[ExperimentSettings] = None,
+    footprint_bytes: int = SYNTHETIC_FOOTPRINTS["fits_l2"],
+    iterations: int = 12,
+    setups: Sequence[str] = ("rm", "hrp"),
+) -> Fig5Result:
+    """Execution-time distributions of the synthetic kernel under RM and hRP.
+
+    ``iterations`` defaults to 12 traversals (the paper uses 50) to bound
+    the trace length of the pure-Python simulation; the relative behaviour
+    of the placement policies does not depend on it.
+    """
+    settings = settings or ExperimentSettings()
+    trace = synthetic_vector_trace(footprint_bytes, iterations=iterations)
+    samples: Dict[str, List[int]] = {}
+    pwcet: Dict[str, Dict[float, float]] = {}
+    curves: Dict[str, List[Tuple[float, float]]] = {}
+    for setup in setups:
+        campaign = run_campaign(
+            trace,
+            settings.setup(setup),
+            runs=settings.runs,
+            master_seed=settings.master_seed,
+            setup=setup,
+            engine=settings.engine,
+        )
+        result = _mbpta_for(campaign, settings)
+        samples[setup] = campaign.execution_times
+        pwcet[setup] = {
+            settings.secondary_cutoff: result.pwcet_at(settings.secondary_cutoff),
+            settings.cutoff: result.pwcet_at(settings.cutoff),
+        }
+        curves[setup] = result.curve.ccdf_points(min_probability=1e-16, points_per_decade=1)
+    return Fig5Result(
+        footprint_bytes=footprint_bytes,
+        samples=samples,
+        pwcet=pwcet,
+        curves=curves,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Average performance (Section 4.4)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class AveragePerformanceResult:
+    """RM average performance relative to deterministic modulo placement."""
+
+    rows: Dict[str, Dict[str, float]]
+
+    @property
+    def average_degradation(self) -> float:
+        values = [row["degradation"] for row in self.rows.values()]
+        return sum(values) / len(values)
+
+    @property
+    def max_degradation(self) -> float:
+        return max(row["degradation"] for row in self.rows.values())
+
+    def format(self) -> str:
+        table_rows = [
+            (
+                benchmark,
+                f"{row['modulo_mean']:,.0f}",
+                f"{row['rm_mean']:,.0f}",
+                f"{row['degradation'] * 100:+.2f}%",
+            )
+            for benchmark, row in self.rows.items()
+        ]
+        return "\n".join(
+            [
+                format_table(
+                    ["benchmark", "modulo mean", "RM mean", "RM vs modulo"],
+                    table_rows,
+                    title="Section 4.4: average performance of RM vs modulo placement",
+                ),
+                "",
+                f"average degradation {self.average_degradation * 100:.2f}%, "
+                f"maximum {self.max_degradation * 100:.2f}%",
+            ]
+        )
+
+
+def experiment_avg_performance(
+    settings: Optional[ExperimentSettings] = None,
+) -> AveragePerformanceResult:
+    """Mean execution time of RM versus modulo placement per benchmark."""
+    settings = settings or ExperimentSettings()
+    rows: Dict[str, Dict[str, float]] = {}
+    for offset, benchmark in enumerate(eembc_kernel_names()):
+        rm_campaign = _benchmark_campaign(benchmark, "rm", settings, seed_offset=offset)
+        trace = eembc_trace(benchmark, scale=settings.scale)
+        modulo_campaign = run_campaign(
+            trace,
+            settings.setup("modulo"),
+            runs=1,
+            master_seed=settings.master_seed,
+            setup="modulo",
+            engine=settings.engine,
+        )
+        modulo_mean = modulo_campaign.mean
+        rm_mean = rm_campaign.mean
+        rows[benchmark] = {
+            "modulo_mean": modulo_mean,
+            "rm_mean": rm_mean,
+            "degradation": rm_mean / modulo_mean - 1.0,
+        }
+    return AveragePerformanceResult(rows=rows)
+
+
+# ---------------------------------------------------------------------------
+# Ablations (DESIGN.md)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FootprintAblationResult:
+    """Effect of the data footprint on RM vs hRP (segment preservation)."""
+
+    rows: List[Dict[str, float]]
+    cutoff: float
+
+    def format(self) -> str:
+        table_rows = [
+            (
+                f"{int(row['footprint_bytes']) // 1024}KB",
+                f"{row['rm_mean']:,.0f}",
+                f"{row['hrp_mean']:,.0f}",
+                f"{row['rm_pwcet']:,.0f}",
+                f"{row['hrp_pwcet']:,.0f}",
+                round(row["pwcet_ratio"], 3),
+            )
+            for row in self.rows
+        ]
+        return format_table(
+            ["footprint", "RM mean", "hRP mean", "RM pWCET", "hRP pWCET", "RM/hRP pWCET"],
+            table_rows,
+            title=f"Ablation: footprint sweep (cutoff {self.cutoff:g})",
+        )
+
+
+def experiment_footprint_ablation(
+    settings: Optional[ExperimentSettings] = None,
+    footprints: Sequence[int] = (4 * 1024, 8 * 1024, 20 * 1024, 40 * 1024),
+    iterations: int = 8,
+) -> FootprintAblationResult:
+    """Sweep the synthetic kernel footprint and compare RM with hRP."""
+    settings = settings or ExperimentSettings()
+    rows: List[Dict[str, float]] = []
+    for footprint in footprints:
+        trace = synthetic_vector_trace(footprint, iterations=iterations)
+        row: Dict[str, float] = {"footprint_bytes": float(footprint)}
+        for setup in ("rm", "hrp"):
+            campaign = run_campaign(
+                trace,
+                settings.setup(setup),
+                runs=settings.runs,
+                master_seed=settings.master_seed,
+                setup=setup,
+                engine=settings.engine,
+            )
+            result = _mbpta_for(campaign, settings)
+            row[f"{setup}_mean"] = campaign.mean
+            row[f"{setup}_pwcet"] = result.pwcet_at(settings.cutoff)
+        row["pwcet_ratio"] = row["rm_pwcet"] / row["hrp_pwcet"]
+        rows.append(row)
+    return FootprintAblationResult(rows=rows, cutoff=settings.cutoff)
+
+
+@dataclass
+class ReplacementAblationResult:
+    """Interaction between placement and replacement policies."""
+
+    rows: Dict[str, Dict[str, float]]
+    cutoff: float
+
+    def format(self) -> str:
+        table_rows = [
+            (
+                configuration,
+                f"{row['mean']:,.0f}",
+                f"{row['hwm']:,.0f}",
+                f"{row['pwcet']:,.0f}",
+            )
+            for configuration, row in self.rows.items()
+        ]
+        return format_table(
+            ["configuration", "mean", "hwm", f"pWCET@{self.cutoff:g}"],
+            table_rows,
+            title="Ablation: placement x replacement interaction",
+        )
+
+
+def experiment_replacement_ablation(
+    settings: Optional[ExperimentSettings] = None,
+    benchmark: str = "tblook",
+) -> ReplacementAblationResult:
+    """Compare random and LRU replacement under RM and hRP placement."""
+    from ..platform.leon3 import leon3_hierarchy
+
+    settings = settings or ExperimentSettings()
+    trace = eembc_trace(benchmark, scale=settings.scale)
+    configurations = {
+        "rm + random": ("rm", "random"),
+        "rm + lru": ("rm", "lru"),
+        "hrp + random": ("hrp", "random"),
+        "hrp + lru": ("hrp", "lru"),
+    }
+    rows: Dict[str, Dict[str, float]] = {}
+    for label, (placement, replacement) in configurations.items():
+        config = leon3_hierarchy(
+            l1_placement=placement,
+            l2_placement="hrp",
+            l1_replacement=replacement,
+            parameters=settings.parameters,
+        )
+        campaign = run_campaign(
+            trace,
+            config,
+            runs=settings.runs,
+            master_seed=settings.master_seed,
+            setup=label,
+            engine=settings.engine,
+        )
+        result = _mbpta_for(campaign, settings)
+        rows[label] = {
+            "mean": campaign.mean,
+            "hwm": float(campaign.high_water_mark),
+            "pwcet": result.pwcet_at(settings.cutoff),
+        }
+    return ReplacementAblationResult(rows=rows, cutoff=settings.cutoff)

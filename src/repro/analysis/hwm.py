@@ -1,0 +1,62 @@
+"""The industrial high-water-mark (HWM) baseline.
+
+Section 4.4 of the paper compares MBPTA against "a common industrial
+practice in safety-critical systems": collect the high water mark of the
+application's execution time on the target platform under stressing
+conditions and add an engineering margin, usually 20 %.  These helpers
+compute that bound and the comparison metrics reported in Figure 4(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["HwmBound", "high_water_mark", "industrial_bound"]
+
+#: The engineering margin the paper quotes for single-core COTS practice.
+DEFAULT_ENGINEERING_MARGIN = 0.20
+
+
+def high_water_mark(samples: Sequence[float]) -> float:
+    """Largest observed execution time."""
+    if not len(samples):
+        raise ValueError("samples must not be empty")
+    return max(samples)
+
+
+@dataclass(frozen=True)
+class HwmBound:
+    """High-water mark plus the engineering-margin bound derived from it."""
+
+    hwm: float
+    margin: float
+
+    @property
+    def bound(self) -> float:
+        """The industrial WCET bound: ``hwm * (1 + margin)``."""
+        return self.hwm * (1.0 + self.margin)
+
+    def pwcet_ratio(self, pwcet: float) -> float:
+        """``pwcet / hwm`` — how far a pWCET estimate sits above the HWM.
+
+        Figure 4(b) of the paper reports this ratio: Random Modulo's pWCET
+        estimates stay within 7 % of the observed high water mark, i.e. well
+        below the 20 % engineering margin.
+        """
+        if self.hwm <= 0:
+            raise ValueError("high water mark must be positive")
+        return pwcet / self.hwm
+
+    def within_margin(self, pwcet: float) -> bool:
+        """True if the pWCET estimate is below the industrial bound."""
+        return pwcet <= self.bound
+
+
+def industrial_bound(
+    samples: Sequence[float], margin: float = DEFAULT_ENGINEERING_MARGIN
+) -> HwmBound:
+    """Build the industrial HWM + engineering-margin bound from measurements."""
+    if margin < 0:
+        raise ValueError(f"margin must be non-negative, got {margin}")
+    return HwmBound(hwm=high_water_mark(samples), margin=margin)

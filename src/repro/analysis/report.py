@@ -1,0 +1,85 @@
+"""Plain-text reporting helpers.
+
+The benchmark harnesses print the reproduced tables and figure series to
+stdout so that a bench run leaves a readable record next to the
+pytest-benchmark timings.  These helpers render aligned ASCII tables and
+simple textual histograms without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["format_table", "format_histogram", "format_ccdf", "format_ratio"]
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    string_rows: List[List[str]] = [[_stringify(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append(separator)
+    for row in string_rows:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_histogram(
+    samples: Sequence[float],
+    bins: int = 20,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render a textual histogram (used for Figure 5's density plots)."""
+    if not len(samples):
+        raise ValueError("samples must not be empty")
+    low = min(samples)
+    high = max(samples)
+    if high == low:
+        return f"{title}\nall {len(samples)} observations equal {low:g}"
+    span = (high - low) / bins
+    counts = [0] * bins
+    for value in samples:
+        index = min(int((value - low) / span), bins - 1)
+        counts[index] += 1
+    peak = max(counts)
+    lines = [title] if title else []
+    for index, count in enumerate(counts):
+        left = low + index * span
+        bar = "#" * max(int(count / peak * width), 1 if count else 0)
+        lines.append(f"{left:>12,.0f} | {bar} {count}")
+    return "\n".join(lines)
+
+
+def format_ccdf(points: Sequence[Tuple[float, float]], title: str = "") -> str:
+    """Render (value, exceedance probability) pairs as a small table."""
+    rows = [(f"{value:,.0f}", f"{probability:.3g}") for value, probability in points]
+    return format_table(["execution time", "exceedance prob."], rows, title=title)
+
+
+def format_ratio(value: float) -> str:
+    """Format a ratio as a percentage difference (e.g. 0.57 -> '-43.0%')."""
+    return f"{(value - 1.0) * 100.0:+.1f}%"

@@ -1,0 +1,52 @@
+"""Cache substrate: set-associative caches, hierarchies and the fast engine."""
+
+from .cache import (
+    WRITE_BACK,
+    WRITE_THROUGH,
+    AccessOutcome,
+    CacheConfig,
+    CacheStats,
+    SetAssociativeCache,
+    derive_policy_seeds,
+)
+from .fastsim import (
+    CompiledTrace,
+    FastHierarchySimulator,
+    FastRunResult,
+    simulate_trace,
+)
+from .hierarchy import CacheHierarchy, HierarchyConfig, MemoryTimings, derive_cache_seeds
+from .replacement import (
+    REPLACEMENT_NAMES,
+    FifoReplacement,
+    LruReplacement,
+    RandomReplacement,
+    ReplacementPolicy,
+    TreePlruReplacement,
+    make_replacement,
+)
+
+__all__ = [
+    "WRITE_BACK",
+    "WRITE_THROUGH",
+    "AccessOutcome",
+    "CacheConfig",
+    "CacheStats",
+    "SetAssociativeCache",
+    "derive_policy_seeds",
+    "CompiledTrace",
+    "FastHierarchySimulator",
+    "FastRunResult",
+    "simulate_trace",
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "MemoryTimings",
+    "derive_cache_seeds",
+    "REPLACEMENT_NAMES",
+    "FifoReplacement",
+    "LruReplacement",
+    "RandomReplacement",
+    "ReplacementPolicy",
+    "TreePlruReplacement",
+    "make_replacement",
+]

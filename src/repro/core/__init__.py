@@ -1,0 +1,63 @@
+"""Core contribution of the paper: random cache placement functions.
+
+The :mod:`repro.core` package contains everything needed to compute the set
+index of an address under the placement policies studied in the paper
+(modulo, deterministic XOR, hash-based random placement and Random Modulo),
+plus the hardware-style pseudo-random number generators and the permutation
+networks Random Modulo is built from.
+"""
+
+from .benes import (
+    BenesNetwork,
+    OddEvenNetwork,
+    PermutationNetwork,
+    make_permutation_network,
+)
+from .bits import (
+    ceil_log2,
+    fold_xor,
+    from_bits,
+    is_power_of_two,
+    mask,
+    rotate_left,
+    rotate_right,
+    to_bits,
+)
+from .placement import (
+    PLACEMENT_NAMES,
+    DeterministicXorPlacement,
+    HashRandomPlacement,
+    ModuloPlacement,
+    PlacementGeometry,
+    PlacementPolicy,
+    RandomModuloPlacement,
+    make_placement,
+)
+from .prng import GaloisLfsr, MultiLfsrPrng, SplitMix64, derive_run_seeds
+
+__all__ = [
+    "BenesNetwork",
+    "OddEvenNetwork",
+    "PermutationNetwork",
+    "make_permutation_network",
+    "ceil_log2",
+    "fold_xor",
+    "from_bits",
+    "is_power_of_two",
+    "mask",
+    "rotate_left",
+    "rotate_right",
+    "to_bits",
+    "PLACEMENT_NAMES",
+    "DeterministicXorPlacement",
+    "HashRandomPlacement",
+    "ModuloPlacement",
+    "PlacementGeometry",
+    "PlacementPolicy",
+    "RandomModuloPlacement",
+    "make_placement",
+    "GaloisLfsr",
+    "MultiLfsrPrng",
+    "SplitMix64",
+    "derive_run_seeds",
+]

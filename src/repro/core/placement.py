@@ -1,0 +1,352 @@
+"""Cache placement (indexing) policies.
+
+This module contains the paper's contribution and its comparison points:
+
+* :class:`ModuloPlacement` — the conventional deterministic placement used by
+  virtually all processors: the index is the low-order line-address bits.
+* :class:`DeterministicXorPlacement` — an XOR-hash placement in the style of
+  González et al. (ICS 1997): still deterministic, included as the
+  related-work baseline the paper discusses in Section 5.
+* :class:`HashRandomPlacement` (hRP) — the MBPTA-compliant parametric hash of
+  Kosmidis et al. (DATE 2013), Figure 2 of the paper: rotate blocks over the
+  upper address bits combined through an XOR tree with the random seed.
+* :class:`RandomModuloPlacement` (RM) — the paper's proposal, Figure 3: the
+  modulo index bits are routed through a permutation network whose control
+  word is derived from the upper address bits XORed with the random seed.
+
+All policies share the :class:`PlacementPolicy` interface used by the cache
+model: they map a 32-bit byte address to a set index and a tag, can be
+reseeded between runs, and report whether the tag array must also store the
+index bits (needed when the placement is not segment-preserving).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .benes import PermutationNetwork, make_permutation_network
+from .bits import bit_slice, ceil_log2, fold_xor, is_power_of_two, mask, rotate_left
+from .prng import SplitMix64
+
+__all__ = [
+    "PlacementGeometry",
+    "PlacementPolicy",
+    "ModuloPlacement",
+    "DeterministicXorPlacement",
+    "HashRandomPlacement",
+    "RandomModuloPlacement",
+    "make_placement",
+    "PLACEMENT_NAMES",
+]
+
+
+@dataclass(frozen=True)
+class PlacementGeometry:
+    """Geometry a placement policy operates on.
+
+    Attributes
+    ----------
+    num_sets:
+        Number of cache sets (must be a power of two).
+    line_size:
+        Cache line size in bytes (must be a power of two).
+    address_bits:
+        Width of physical addresses (32 in the paper's LEON3).
+    """
+
+    num_sets: int
+    line_size: int
+    address_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.num_sets):
+            raise ValueError(f"num_sets must be a power of two, got {self.num_sets}")
+        if not is_power_of_two(self.line_size):
+            raise ValueError(f"line_size must be a power of two, got {self.line_size}")
+        if self.address_bits < self.offset_bits + self.index_bits:
+            raise ValueError(
+                "address_bits too small for the requested geometry: "
+                f"{self.address_bits} < {self.offset_bits + self.index_bits}"
+            )
+
+    @property
+    def offset_bits(self) -> int:
+        """Number of byte-offset bits within a line."""
+        return ceil_log2(self.line_size)
+
+    @property
+    def index_bits(self) -> int:
+        """Number of set-index bits."""
+        return ceil_log2(self.num_sets)
+
+    @property
+    def upper_bits(self) -> int:
+        """Number of address bits above offset and index (the modulo tag)."""
+        return self.address_bits - self.offset_bits - self.index_bits
+
+    @property
+    def segment_size(self) -> int:
+        """Cache-segment (way) size in bytes: ``num_sets * line_size``."""
+        return self.num_sets * self.line_size
+
+    def line_address(self, address: int) -> int:
+        """Drop the byte offset of ``address``."""
+        return (address & mask(self.address_bits)) >> self.offset_bits
+
+    def modulo_index(self, address: int) -> int:
+        """The conventional modulo set index of ``address``."""
+        return self.line_address(address) & mask(self.index_bits)
+
+    def segment_of(self, address: int) -> int:
+        """The cache segment (way-aligned region) ``address`` belongs to."""
+        return (address & mask(self.address_bits)) // self.segment_size
+
+
+class PlacementPolicy(ABC):
+    """Maps addresses to cache sets, possibly under a per-run random seed."""
+
+    #: Short machine-readable policy name (used in reports and factories).
+    name: str = "abstract"
+    #: True if the policy's set index changes across seeds.
+    randomized: bool = False
+
+    def __init__(self, geometry: PlacementGeometry) -> None:
+        self.geometry = geometry
+
+    @abstractmethod
+    def set_index(self, address: int) -> int:
+        """Return the set index of ``address`` under the current seed."""
+
+    def reseed(self, seed: int) -> None:
+        """Install a new random seed (no-op for deterministic policies)."""
+
+    @property
+    def needs_index_in_tag(self) -> bool:
+        """Whether the tag array must additionally store the index bits.
+
+        With modulo and Random Modulo the set index of a hit can be
+        reconstructed from the set being probed (segment preservation), so
+        the stored tag can exclude the index bits.  hRP can map any two
+        addresses to the same set, hence it must store the index bits too
+        (Section 3.1 of the paper).
+        """
+        return False
+
+    def tag(self, address: int) -> int:
+        """Return the tag stored/compared for ``address``.
+
+        The tag always identifies the line uniquely *given the set it is
+        stored in*; policies that need the index in the tag simply use the
+        full line address.
+        """
+        if self.needs_index_in_tag:
+            return self.geometry.line_address(address)
+        return self.geometry.line_address(address) >> self.geometry.index_bits
+
+    def set_indices(self, addresses: Sequence[int]) -> List[int]:
+        """Vectorised helper: map many addresses under the current seed."""
+        index = self.set_index
+        return [index(address) for address in addresses]
+
+    def describe(self) -> Dict[str, object]:
+        """Structured description used by reports and experiment logs."""
+        return {
+            "policy": self.name,
+            "randomized": self.randomized,
+            "num_sets": self.geometry.num_sets,
+            "line_size": self.geometry.line_size,
+            "needs_index_in_tag": self.needs_index_in_tag,
+        }
+
+
+class ModuloPlacement(PlacementPolicy):
+    """Conventional modulo placement: index = low-order line-address bits."""
+
+    name = "modulo"
+    randomized = False
+
+    def set_index(self, address: int) -> int:
+        return self.geometry.modulo_index(address)
+
+
+class DeterministicXorPlacement(PlacementPolicy):
+    """Deterministic XOR-hash placement (González et al. style).
+
+    The set index is the modulo index XORed with a fold of the upper address
+    bits.  It spreads conflicting addresses compared to plain modulo but is
+    fully deterministic: a pathological input set collides systematically in
+    every run, which is why it is not MBPTA-compliant (Section 5).
+    """
+
+    name = "xor"
+    randomized = False
+
+    def set_index(self, address: int) -> int:
+        geometry = self.geometry
+        upper = self.geometry.line_address(address) >> geometry.index_bits
+        return geometry.modulo_index(address) ^ fold_xor(
+            upper, geometry.upper_bits, geometry.index_bits
+        )
+
+
+class HashRandomPlacement(PlacementPolicy):
+    """Hash-based random placement (hRP), Figure 2 of the paper.
+
+    hRP computes the set index with a *parametric hash* of all line-address
+    bits and the per-run random seed (rotate blocks followed by an XOR
+    cascade in the hardware of Figure 2).  Functionally, the defining
+    property stated in Section 3.1 is that every address is mapped to every
+    set with homogeneous probability ``1/S`` and that the mapping is redrawn
+    whenever the seed changes.
+
+    The model here realises that property exactly with a seeded random
+    linear hash over GF(2): the index is ``H . a  xor  b`` where ``a`` is
+    the line address (as a bit vector), ``H`` a random ``index_bits x
+    hash_width`` binary matrix and ``b`` a random offset, both derived from
+    the seed.  The rotate/XOR hardware of the paper is one particular
+    low-cost member of this family; its area/delay is modelled separately in
+    :mod:`repro.hardware.modules`.
+
+    Because two addresses of the same segment may land in the same set, the
+    tag array must store the index bits as well (``needs_index_in_tag``).
+    """
+
+    name = "hrp"
+    randomized = True
+
+    def __init__(self, geometry: PlacementGeometry, seed: int = 0) -> None:
+        super().__init__(geometry)
+        self._hash_width = geometry.address_bits - geometry.offset_bits
+        self._row_masks: List[int] = [0] * geometry.index_bits
+        self._offset = 0
+        self.reseed(seed)
+
+    @property
+    def needs_index_in_tag(self) -> bool:
+        return True
+
+    def reseed(self, seed: int) -> None:
+        """Draw a fresh hash matrix and offset from ``seed``.
+
+        The seed register (RII in Figure 2) is refreshed once per run by the
+        PRNG of Agirre et al.; expanding it with SplitMix64 plays the same
+        role here.  Rows are re-drawn if they come out zero so that no index
+        bit becomes constant (the hardware hash never drops an index bit
+        either).
+        """
+        expander = SplitMix64(seed)
+        rows: List[int] = []
+        for _ in range(self.geometry.index_bits):
+            row = 0
+            while row == 0:
+                row = (
+                    expander.next_uint64()
+                    | (expander.next_uint64() << 64)
+                ) & mask(self._hash_width)
+            rows.append(row)
+        self._row_masks = rows
+        self._offset = expander.next_uint64() & mask(self.geometry.index_bits)
+
+    def set_index(self, address: int) -> int:
+        line = self.geometry.line_address(address)
+        index = self._offset
+        for bit, row in enumerate(self._row_masks):
+            index ^= ((row & line).bit_count() & 1) << bit
+        return index
+
+
+class RandomModuloPlacement(PlacementPolicy):
+    """Random Modulo (RM) placement, Figure 3 of the paper.
+
+    The modulo index bits are routed through a permutation network of 2x2
+    pass/swap switches.  The control word of the network is obtained by
+    combining the upper address bits with the per-run random seed (the paper
+    concatenates the 19/20 upper bits with the top seed bit and XORs them with
+    the next seed bits), so:
+
+    * within one cache segment the upper bits are constant, hence the
+      permutation is constant, hence the index mapping is a bijection —
+      two addresses that do not collide under modulo cannot collide under RM;
+    * across segments and across runs the permutation changes randomly, which
+      breaks the dependence between the memory layout chosen by the compiler
+      or RTOS and the cache layout, as MBPTA requires.
+    """
+
+    name = "rm"
+    randomized = True
+
+    def __init__(
+        self,
+        geometry: PlacementGeometry,
+        seed: int = 0,
+        network: PermutationNetwork | None = None,
+    ) -> None:
+        super().__init__(geometry)
+        self.network = network or make_permutation_network(geometry.index_bits)
+        if self.network.width != geometry.index_bits:
+            raise ValueError(
+                f"permutation network width {self.network.width} does not match "
+                f"index width {geometry.index_bits}"
+            )
+        self._seed_controls = 0
+        self._seed_upper = 0
+        self._control_cache: Dict[int, int] = {}
+        self.reseed(seed)
+
+    def reseed(self, seed: int) -> None:
+        n_controls = self.network.num_switches
+        expander = SplitMix64(seed)
+        raw = expander.next_uint64() | (expander.next_uint64() << 64)
+        # The low control-word-sized slice of the seed is XORed with the
+        # upper address bits; one extra seed bit is concatenated above them,
+        # mirroring the 19-address-bit + 1-seed-bit construction of the paper.
+        self._seed_controls = raw & mask(n_controls)
+        self._seed_upper = (raw >> n_controls) & mask(n_controls)
+        self._control_cache.clear()
+
+    def _controls_for(self, upper: int) -> int:
+        controls = self._control_cache.get(upper)
+        if controls is None:
+            n_controls = self.network.num_switches
+            upper_field = fold_xor(upper, self.geometry.upper_bits, n_controls)
+            spread = self.geometry.upper_bits
+            if spread < n_controls:
+                # Pad the upper bits with seed bits, as the paper concatenates
+                # the uppermost seed bit(s) above the 19 upper address bits.
+                upper_field |= (self._seed_upper << spread) & mask(n_controls)
+            controls = (upper_field ^ self._seed_controls) & mask(n_controls)
+            self._control_cache[upper] = controls
+        return controls
+
+    def set_index(self, address: int) -> int:
+        geometry = self.geometry
+        modulo_index = geometry.modulo_index(address)
+        upper = geometry.line_address(address) >> geometry.index_bits
+        return self.network.apply(modulo_index, self._controls_for(upper))
+
+
+#: Names accepted by :func:`make_placement`.
+PLACEMENT_NAMES = ("modulo", "xor", "hrp", "rm")
+
+
+def make_placement(
+    name: str,
+    geometry: PlacementGeometry,
+    seed: int = 0,
+) -> PlacementPolicy:
+    """Instantiate a placement policy by name.
+
+    ``name`` is one of ``"modulo"``, ``"xor"``, ``"hrp"`` or ``"rm"``.
+    """
+    key = name.lower()
+    if key == "modulo":
+        return ModuloPlacement(geometry)
+    if key == "xor":
+        return DeterministicXorPlacement(geometry)
+    if key == "hrp":
+        return HashRandomPlacement(geometry, seed=seed)
+    if key == "rm":
+        return RandomModuloPlacement(geometry, seed=seed)
+    raise ValueError(f"unknown placement policy {name!r}; expected one of {PLACEMENT_NAMES}")

@@ -1,0 +1,28 @@
+"""CPU substrate: traces, the TISA mini ISA, assembler, interpreter, timing core."""
+
+from .assembler import AssemblyError, Program, ProgramBuilder, assemble
+from .core import ExecutionTimingModel, TraceDrivenCore, TraceRunResult
+from .interpreter import CoreTimings, ExecutionResult, Interpreter, run_program
+from .isa import INSTRUCTION_SIZE, NUM_REGISTERS, Instruction, Opcode
+from .trace import AccessKind, MemoryAccess, Trace
+
+__all__ = [
+    "AssemblyError",
+    "Program",
+    "ProgramBuilder",
+    "assemble",
+    "ExecutionTimingModel",
+    "TraceDrivenCore",
+    "TraceRunResult",
+    "CoreTimings",
+    "ExecutionResult",
+    "Interpreter",
+    "run_program",
+    "INSTRUCTION_SIZE",
+    "NUM_REGISTERS",
+    "Instruction",
+    "Opcode",
+    "AccessKind",
+    "MemoryAccess",
+    "Trace",
+]

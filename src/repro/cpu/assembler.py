@@ -1,0 +1,312 @@
+"""Assembler and program container for the TISA mini ISA.
+
+A :class:`Program` is a list of instructions placed at a code base address
+plus a description of the data segment (base address and size).  Programs
+can be written in two ways:
+
+* textually, through :func:`assemble` — a small two-pass assembler with
+  labels, comments and decimal/hex immediates;
+* programmatically, through :class:`ProgramBuilder`, which the workload
+  generators use to emit loop nests without string formatting overhead.
+
+The default code and data base addresses mimic the LEON3 memory map (RAM at
+``0x40000000``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .isa import INSTRUCTION_SIZE, Instruction, Opcode
+
+__all__ = ["Program", "ProgramBuilder", "assemble", "AssemblyError"]
+
+#: Default placement of code and data, loosely following the LEON3 memory map.
+DEFAULT_CODE_BASE = 0x4000_0000
+DEFAULT_DATA_BASE = 0x4010_0000
+
+
+class AssemblyError(ValueError):
+    """Raised when a source line cannot be assembled."""
+
+
+@dataclass
+class Program:
+    """An assembled TISA program."""
+
+    instructions: List[Instruction]
+    code_base: int = DEFAULT_CODE_BASE
+    data_base: int = DEFAULT_DATA_BASE
+    labels: Dict[str, int] = field(default_factory=dict)
+    name: str = "program"
+
+    def __post_init__(self) -> None:
+        if self.code_base % INSTRUCTION_SIZE:
+            raise ValueError("code_base must be word aligned")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def code_size_bytes(self) -> int:
+        """Size of the code segment in bytes."""
+        return len(self.instructions) * INSTRUCTION_SIZE
+
+    def address_of(self, index: int) -> int:
+        """Byte address of the instruction at ``index``."""
+        return self.code_base + index * INSTRUCTION_SIZE
+
+    def index_of(self, address: int) -> int:
+        """Instruction index for a byte address inside the code segment."""
+        offset = address - self.code_base
+        if offset < 0 or offset % INSTRUCTION_SIZE or offset // INSTRUCTION_SIZE >= len(self):
+            raise ValueError(f"address {address:#x} is not inside the code segment")
+        return offset // INSTRUCTION_SIZE
+
+    def listing(self) -> str:
+        """A human-readable disassembly listing."""
+        reverse_labels: Dict[int, List[str]] = {}
+        for label, index in self.labels.items():
+            reverse_labels.setdefault(index, []).append(label)
+        lines = []
+        for index, instruction in enumerate(self.instructions):
+            for label in reverse_labels.get(index, []):
+                lines.append(f"{label}:")
+            lines.append(f"  {self.address_of(index):#010x}  {instruction.describe()}")
+        return "\n".join(lines)
+
+
+class ProgramBuilder:
+    """Programmatic construction of TISA programs.
+
+    Example
+    -------
+    >>> builder = ProgramBuilder(name="sum")
+    >>> builder.li(1, 0)                 # acc = 0
+    >>> builder.li(2, 10)                # n = 10
+    >>> builder.label("loop")
+    >>> builder.op(Opcode.ADD, 1, 1, 2)  # acc += n
+    >>> builder.op_imm(Opcode.ADDI, 2, 2, -1)
+    >>> builder.branch(Opcode.BNE, 2, 0, "loop")
+    >>> builder.halt()
+    >>> program = builder.build()
+    """
+
+    def __init__(
+        self,
+        name: str = "program",
+        code_base: int = DEFAULT_CODE_BASE,
+        data_base: int = DEFAULT_DATA_BASE,
+    ) -> None:
+        self.name = name
+        self.code_base = code_base
+        self.data_base = data_base
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+
+    # -------------------------------------------------------------- emitters
+
+    def label(self, name: str) -> None:
+        """Attach a label to the next emitted instruction."""
+        if name in self._labels:
+            raise AssemblyError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+
+    def emit(self, instruction: Instruction) -> None:
+        self._instructions.append(instruction)
+
+    def nop(self, count: int = 1) -> None:
+        """Emit ``count`` NOPs (used to pad code footprints)."""
+        for _ in range(count):
+            self.emit(Instruction(Opcode.NOP))
+
+    def halt(self) -> None:
+        self.emit(Instruction(Opcode.HALT))
+
+    def op(self, opcode: Opcode, rd: int, rs1: int, rs2: int) -> None:
+        """Register-register ALU operation."""
+        self.emit(Instruction(opcode, rd=rd, rs1=rs1, rs2=rs2))
+
+    def op_imm(self, opcode: Opcode, rd: int, rs1: int, imm: int) -> None:
+        """Register-immediate ALU operation."""
+        self.emit(Instruction(opcode, rd=rd, rs1=rs1, imm=imm))
+
+    def li(self, rd: int, value: int) -> None:
+        """Load a (possibly wide) immediate into ``rd``."""
+        self.emit(Instruction(Opcode.LUI, rd=rd, rs1=0, imm=value))
+
+    def load(self, rd: int, base: int, offset: int = 0) -> None:
+        """``rd = mem[r_base + offset]``."""
+        self.emit(Instruction(Opcode.LD, rd=rd, rs1=base, imm=offset))
+
+    def store(self, source: int, base: int, offset: int = 0) -> None:
+        """``mem[r_base + offset] = r_source``."""
+        self.emit(Instruction(Opcode.ST, rs1=base, rs2=source, imm=offset))
+
+    def branch(self, opcode: Opcode, rs1: int, rs2: int, label: str) -> None:
+        """Compare-and-branch to ``label``."""
+        if not opcode.is_branch or opcode == Opcode.JMP:
+            raise AssemblyError(f"{opcode.name} is not a conditional branch")
+        self.emit(Instruction(opcode, rs1=rs1, rs2=rs2, label=label))
+
+    def jump(self, label: str) -> None:
+        """Unconditional jump to ``label``."""
+        self.emit(Instruction(Opcode.JMP, label=label))
+
+    # ----------------------------------------------------------------- build
+
+    def build(self) -> Program:
+        """Resolve labels and return the finished :class:`Program`."""
+        resolved: List[Instruction] = []
+        for instruction in self._instructions:
+            if instruction.label is not None:
+                if instruction.label not in self._labels:
+                    raise AssemblyError(f"undefined label {instruction.label!r}")
+                index = self._labels[instruction.label]
+                target = self.code_base + index * INSTRUCTION_SIZE
+                resolved.append(
+                    Instruction(
+                        instruction.opcode,
+                        rd=instruction.rd,
+                        rs1=instruction.rs1,
+                        rs2=instruction.rs2,
+                        imm=instruction.imm,
+                        target=target,
+                        label=instruction.label,
+                    )
+                )
+            else:
+                resolved.append(instruction)
+        return Program(
+            instructions=resolved,
+            code_base=self.code_base,
+            data_base=self.data_base,
+            labels=dict(self._labels),
+            name=self.name,
+        )
+
+
+_REGISTER_RE = re.compile(r"^r(\d+)$")
+
+#: Mnemonic -> (opcode, format) table for the text assembler.
+_MNEMONICS = {
+    "nop": (Opcode.NOP, "none"),
+    "halt": (Opcode.HALT, "none"),
+    "add": (Opcode.ADD, "rrr"),
+    "sub": (Opcode.SUB, "rrr"),
+    "mul": (Opcode.MUL, "rrr"),
+    "and": (Opcode.AND, "rrr"),
+    "or": (Opcode.OR, "rrr"),
+    "xor": (Opcode.XOR, "rrr"),
+    "sll": (Opcode.SLL, "rrr"),
+    "srl": (Opcode.SRL, "rrr"),
+    "addi": (Opcode.ADDI, "rri"),
+    "andi": (Opcode.ANDI, "rri"),
+    "ori": (Opcode.ORI, "rri"),
+    "li": (Opcode.LUI, "ri"),
+    "ld": (Opcode.LD, "rri"),
+    "st": (Opcode.ST, "rri"),
+    "beq": (Opcode.BEQ, "rrl"),
+    "bne": (Opcode.BNE, "rrl"),
+    "blt": (Opcode.BLT, "rrl"),
+    "bge": (Opcode.BGE, "rrl"),
+    "jmp": (Opcode.JMP, "l"),
+}
+
+
+def _parse_register(token: str, line_number: int) -> int:
+    match = _REGISTER_RE.match(token.strip())
+    if not match:
+        raise AssemblyError(f"line {line_number}: expected register, got {token!r}")
+    return int(match.group(1))
+
+
+def _parse_immediate(token: str, line_number: int) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError as error:
+        raise AssemblyError(
+            f"line {line_number}: expected immediate, got {token!r}"
+        ) from error
+
+
+def assemble(
+    source: str,
+    name: str = "program",
+    code_base: int = DEFAULT_CODE_BASE,
+    data_base: int = DEFAULT_DATA_BASE,
+) -> Program:
+    """Assemble TISA source text into a :class:`Program`.
+
+    Syntax: one instruction per line, optional ``label:`` prefixes, ``;`` or
+    ``#`` comments, commas between operands.  ``ld``/``st`` use the operand
+    order ``ld rd, rbase, offset`` / ``st rsrc, rbase, offset``.
+    """
+    builder = ProgramBuilder(name=name, code_base=code_base, data_base=data_base)
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = re.split(r"[;#]", raw_line, maxsplit=1)[0].strip()
+        if not line:
+            continue
+        while ":" in line:
+            label, line = line.split(":", 1)
+            builder.label(label.strip())
+            line = line.strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        operands = [token.strip() for token in operand_text.split(",") if token.strip()]
+        if mnemonic not in _MNEMONICS:
+            raise AssemblyError(f"line {line_number}: unknown mnemonic {mnemonic!r}")
+        opcode, form = _MNEMONICS[mnemonic]
+
+        if form == "none":
+            if operands:
+                raise AssemblyError(f"line {line_number}: {mnemonic} takes no operands")
+            builder.emit(Instruction(opcode))
+        elif form == "rrr":
+            if len(operands) != 3:
+                raise AssemblyError(f"line {line_number}: {mnemonic} needs 3 registers")
+            rd, rs1, rs2 = (_parse_register(token, line_number) for token in operands)
+            builder.op(opcode, rd, rs1, rs2)
+        elif form == "rri":
+            if len(operands) != 3:
+                raise AssemblyError(f"line {line_number}: {mnemonic} needs 3 operands")
+            if opcode == Opcode.LD:
+                rd = _parse_register(operands[0], line_number)
+                rs1 = _parse_register(operands[1], line_number)
+                imm = _parse_immediate(operands[2], line_number)
+                builder.load(rd, rs1, imm)
+            elif opcode == Opcode.ST:
+                source_reg = _parse_register(operands[0], line_number)
+                rs1 = _parse_register(operands[1], line_number)
+                imm = _parse_immediate(operands[2], line_number)
+                builder.store(source_reg, rs1, imm)
+            else:
+                rd = _parse_register(operands[0], line_number)
+                rs1 = _parse_register(operands[1], line_number)
+                imm = _parse_immediate(operands[2], line_number)
+                builder.op_imm(opcode, rd, rs1, imm)
+        elif form == "ri":
+            if len(operands) != 2:
+                raise AssemblyError(f"line {line_number}: {mnemonic} needs 2 operands")
+            rd = _parse_register(operands[0], line_number)
+            imm = _parse_immediate(operands[1], line_number)
+            builder.li(rd, imm)
+        elif form == "rrl":
+            if len(operands) != 3:
+                raise AssemblyError(f"line {line_number}: {mnemonic} needs 3 operands")
+            rs1 = _parse_register(operands[0], line_number)
+            rs2 = _parse_register(operands[1], line_number)
+            builder.branch(opcode, rs1, rs2, operands[2])
+        elif form == "l":
+            if len(operands) != 1:
+                raise AssemblyError(f"line {line_number}: {mnemonic} needs a label")
+            builder.jump(operands[0])
+        else:  # pragma: no cover - defensive
+            raise AssemblyError(f"line {line_number}: unhandled format {form!r}")
+    return builder.build()

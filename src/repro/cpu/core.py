@@ -1,0 +1,135 @@
+"""Trace-driven in-order timing core.
+
+The paper measures end-to-end execution times of programs on a LEON3.  When
+a workload is available as a memory-access :class:`~repro.cpu.trace.Trace`
+(either generated directly by the workload layer or recorded by the TISA
+interpreter), this core replays it against a cache hierarchy and produces
+the execution time in cycles.
+
+Two back-ends are available:
+
+* :meth:`TraceDrivenCore.run_reference` drives the object-oriented
+  :class:`~repro.cache.hierarchy.CacheHierarchy` (slow, inspectable);
+* :meth:`TraceDrivenCore.run_fast` uses the flat-array engine of
+  :mod:`repro.cache.fastsim` (what the measurement campaigns use).
+
+Both add the same per-instruction execute cost on top of the memory
+latencies, so they produce identical cycle counts for identical seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..cache.fastsim import CompiledTrace, FastHierarchySimulator, FastRunResult
+from ..cache.hierarchy import CacheHierarchy, HierarchyConfig
+from .trace import AccessKind, Trace
+
+__all__ = ["ExecutionTimingModel", "TraceRunResult", "TraceDrivenCore"]
+
+
+@dataclass(frozen=True)
+class ExecutionTimingModel:
+    """Fixed per-access execute-stage costs added on top of memory latency.
+
+    ``fetch_overhead`` models decode/execute cycles per instruction;
+    ``data_overhead`` models the address-generation cycle of loads/stores.
+    Setting both to zero yields a pure memory-latency model.
+    """
+
+    fetch_overhead: int = 0
+    data_overhead: int = 0
+
+
+@dataclass(frozen=True)
+class TraceRunResult:
+    """Execution time plus the underlying cache statistics of one run."""
+
+    cycles: int
+    memory_accesses: int
+    il1_misses: int
+    dl1_misses: int
+    l2_misses: int
+    accesses: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "cycles": self.cycles,
+            "memory_accesses": self.memory_accesses,
+            "il1_misses": self.il1_misses,
+            "dl1_misses": self.dl1_misses,
+            "l2_misses": self.l2_misses,
+            "accesses": self.accesses,
+        }
+
+
+class TraceDrivenCore:
+    """Replays one trace on one hierarchy configuration, many times."""
+
+    def __init__(
+        self,
+        config: HierarchyConfig,
+        trace: Trace,
+        timing: ExecutionTimingModel = ExecutionTimingModel(),
+    ) -> None:
+        self.config = config
+        self.trace = trace
+        self.timing = timing
+        self._compiled: Optional[CompiledTrace] = None
+        self._fast: Optional[FastHierarchySimulator] = None
+        counts = trace.counts()
+        self._overhead_cycles = (
+            counts["fetches"] * timing.fetch_overhead
+            + (counts["loads"] + counts["stores"]) * timing.data_overhead
+        )
+
+    # ------------------------------------------------------------------ fast
+
+    def _ensure_fast(self) -> FastHierarchySimulator:
+        if self._fast is None:
+            self._compiled = CompiledTrace(self.trace, line_size=self.config.il1.line_size)
+            self._fast = FastHierarchySimulator(self.config, self._compiled)
+        return self._fast
+
+    def run_fast(self, seed: int) -> TraceRunResult:
+        """Replay the trace with the fast engine under hierarchy seed ``seed``."""
+        result: FastRunResult = self._ensure_fast().run(seed)
+        return TraceRunResult(
+            cycles=result.cycles + self._overhead_cycles,
+            memory_accesses=result.memory_accesses,
+            il1_misses=result.il1_misses,
+            dl1_misses=result.dl1_misses,
+            l2_misses=result.l2_misses,
+            accesses=len(self.trace),
+        )
+
+    # ------------------------------------------------------------- reference
+
+    def run_reference(self, seed: int) -> TraceRunResult:
+        """Replay the trace with the reference hierarchy model."""
+        hierarchy = CacheHierarchy(self.config, seed=seed)
+        for kind, address in zip(self.trace.kinds, self.trace.addresses):
+            if kind == int(AccessKind.FETCH):
+                hierarchy.fetch(address)
+            elif kind == int(AccessKind.LOAD):
+                hierarchy.load(address)
+            else:
+                hierarchy.store(address)
+        stats = hierarchy.stats()
+        return TraceRunResult(
+            cycles=hierarchy.cycles + self._overhead_cycles,
+            memory_accesses=hierarchy.memory_accesses,
+            il1_misses=int(stats["il1"]["misses"]),
+            dl1_misses=int(stats["dl1"]["misses"]),
+            l2_misses=int(stats["l2"]["misses"]) if "l2" in stats else 0,
+            accesses=len(self.trace),
+        )
+
+    def run(self, seed: int, engine: str = "fast") -> TraceRunResult:
+        """Replay the trace with the selected engine (``"fast"`` or ``"reference"``)."""
+        if engine == "fast":
+            return self.run_fast(seed)
+        if engine == "reference":
+            return self.run_reference(seed)
+        raise ValueError(f"unknown engine {engine!r}; expected 'fast' or 'reference'")

@@ -1,0 +1,30 @@
+"""Hardware cost models: standard cells, netlists, placement modules, FPGA."""
+
+from .fpga import FpgaDevice, FpgaIntegrationResult, integrate_on_fpga
+from .modules import (
+    PlacementModuleCost,
+    build_hrp_module,
+    build_rm_module,
+    hrp_module_cost,
+    modulo_module_cost,
+    rm_module_cost,
+)
+from .netlist import Netlist, NetlistReport
+from .technology import Cell, TechnologyLibrary, generic_45nm_library
+
+__all__ = [
+    "FpgaDevice",
+    "FpgaIntegrationResult",
+    "integrate_on_fpga",
+    "PlacementModuleCost",
+    "build_hrp_module",
+    "build_rm_module",
+    "hrp_module_cost",
+    "modulo_module_cost",
+    "rm_module_cost",
+    "Netlist",
+    "NetlistReport",
+    "Cell",
+    "TechnologyLibrary",
+    "generic_45nm_library",
+]

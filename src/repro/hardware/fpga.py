@@ -1,0 +1,157 @@
+"""FPGA prototype cost model (Stratix IV class device).
+
+The second half of Table 1 reports what happens when the placement modules
+are integrated into *all* cache memories of the 4-core LEON3 FPGA prototype
+(two private L1s per core plus the shared L2): logic occupancy grows from
+70 % to 80 % with hRP but only to 72 % with RM, and the hRP critical path
+forces the board clock down from 100 MHz to 80 MHz while RM keeps 100 MHz.
+
+Without the RTL and Quartus, the model here maps the gate-level netlists of
+:mod:`repro.hardware.modules` onto LUT/register estimates:
+
+* each XOR2/MUX2 maps to (a fraction of) an ALUT; pass-gate switch legs pack
+  two to an ALUT because the FPGA has no pass transistors;
+* the extra index bits hRP must keep in the L1 tag arrays become ALM
+  registers (the L2 tag RAM lives in block RAM either way);
+* the added pipeline delay is the module's LUT depth times a per-level
+  LUT+routing delay, minus the slack available in the baseline cache path;
+  the board clock is then rounded down to the device's 10 MHz step grid.
+
+The constants are calibrated to land near the published board figures; the
+*direction and ranking* (hRP costs an order of magnitude more logic and is
+the only design that degrades the clock) follow from the structure alone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .modules import PlacementModuleCost
+from .netlist import NetlistReport
+
+__all__ = ["FpgaDevice", "FpgaIntegrationResult", "integrate_on_fpga"]
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """A Stratix IV-class FPGA hosting the 4-core LEON3 prototype."""
+
+    name: str = "Stratix IV"
+    total_alms: int = 182_400
+    baseline_occupancy: float = 0.70
+    baseline_frequency_mhz: float = 100.0
+    clock_step_mhz: float = 10.0
+    #: LUT + local routing delay per level of logic (ns).
+    lut_level_delay_ns: float = 0.65
+    #: Combinational slack available in the baseline cache-access path (ns).
+    baseline_slack_ns: float = 1.6
+    #: Gate levels absorbed per LUT level when mapping the ASIC netlist.
+    gate_levels_per_lut: float = 2.0
+    #: ALUTs per mapped gate (packing efficiency).
+    aluts_per_gate: float = 0.6
+    #: Registers that fit in one ALM.
+    registers_per_alm: float = 2.0
+    #: A chain of pass-gate switches re-maps to per-output-bit wide
+    #: multiplexers on the FPGA, bounded by this many LUT levels regardless
+    #: of the chain length (the select logic folds into the mux LUTs).
+    passgate_chain_lut_levels: int = 2
+    #: Seed register + PRNG + control logic each randomised cache needs,
+    #: identical for hRP and RM (charged to both designs).
+    support_alms_per_cache: int = 300
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.baseline_occupancy < 1.0:
+            raise ValueError("baseline_occupancy must be in (0, 1)")
+        if self.total_alms <= 0:
+            raise ValueError("total_alms must be positive")
+
+
+@dataclass(frozen=True)
+class FpgaIntegrationResult:
+    """Occupancy and frequency after integrating one placement design."""
+
+    name: str
+    occupancy: float
+    frequency_mhz: float
+    added_alms: int
+    added_path_ns: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "occupancy_percent": round(self.occupancy * 100.0, 1),
+            "frequency_mhz": self.frequency_mhz,
+            "added_alms": self.added_alms,
+            "added_path_ns": round(self.added_path_ns, 2),
+        }
+
+
+def _module_aluts(report: NetlistReport, device: FpgaDevice) -> float:
+    """ALUT estimate of one module instance."""
+    histogram = report.cell_histogram
+    # Pass-gate legs have no FPGA equivalent; two legs (one switch) become
+    # one ALUT-mapped 2:1 mux pair, so weight them at half a gate.
+    pass_gates = histogram.get("PASSGATE", 0)
+    weighted_gates = report.gate_count - pass_gates / 2.0
+    return weighted_gates * device.aluts_per_gate
+
+
+def integrate_on_fpga(
+    cost: PlacementModuleCost,
+    device: Optional[FpgaDevice] = None,
+    l1_instances: int = 8,
+    l2_instances: int = 1,
+    l1_lines: int = 512,
+    l1_index_bits: int = 7,
+) -> FpgaIntegrationResult:
+    """Integrate one placement design in every cache of the prototype.
+
+    ``l1_instances`` is the number of first-level caches (two per core on
+    the 4-core LEON3), ``l2_instances`` the number of shared caches.  When
+    the design needs index bits in the tag array (hRP), the L1 tag overhead
+    is charged as ALM registers; the L2 tag RAM sits in block RAM and is not
+    charged against logic.
+    """
+    device = device or FpgaDevice()
+    instances = l1_instances + l2_instances
+    module_aluts = _module_aluts(cost.report, device) * instances
+
+    tag_register_bits = 0
+    if cost.tag_overhead_bits > 0:
+        tag_register_bits = l1_instances * l1_lines * l1_index_bits
+    tag_alms = tag_register_bits / device.registers_per_alm
+
+    added_alms = module_aluts + tag_alms + device.support_alms_per_cache * instances
+    occupancy = min(
+        1.0, device.baseline_occupancy + added_alms / device.total_alms
+    )
+
+    histogram = cost.report.cell_histogram
+    passgate_dominated = histogram.get("PASSGATE", 0) >= cost.report.gate_count / 2
+    if passgate_dominated and cost.report.logic_depth:
+        # The switch chain becomes per-bit wide multiplexers; the control
+        # XOR row folds into their select inputs.
+        lut_levels = device.passgate_chain_lut_levels
+    else:
+        lut_levels = max(
+            math.ceil(cost.report.logic_depth / device.gate_levels_per_lut),
+            1 if cost.report.logic_depth else 0,
+        )
+    added_path_ns = lut_levels * device.lut_level_delay_ns
+    baseline_period_ns = 1000.0 / device.baseline_frequency_mhz
+    extra = max(0.0, added_path_ns - device.baseline_slack_ns)
+    period_ns = baseline_period_ns + extra
+    frequency = 1000.0 / period_ns
+    # The prototype's clocking network runs on a coarse grid.
+    frequency = math.floor(frequency / device.clock_step_mhz) * device.clock_step_mhz
+    frequency = min(frequency, device.baseline_frequency_mhz)
+
+    return FpgaIntegrationResult(
+        name=cost.name,
+        occupancy=occupancy,
+        frequency_mhz=frequency,
+        added_alms=int(round(added_alms)),
+        added_path_ns=added_path_ns,
+    )

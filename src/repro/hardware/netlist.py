@@ -1,0 +1,177 @@
+"""Tiny combinational-netlist model used for area/delay evaluation.
+
+The hardware cost analysis of Table 1 only needs two figures per module:
+total cell area and critical-path delay.  :class:`Netlist` therefore models
+a combinational circuit as a DAG of standard-cell instances over a
+:class:`~repro.hardware.technology.TechnologyLibrary`; the area is the sum
+of the instance areas and the critical path is the longest weighted path
+from any primary input to any node.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import networkx as nx
+
+from .technology import TechnologyLibrary
+
+__all__ = ["Netlist", "NetlistReport"]
+
+
+@dataclass(frozen=True)
+class NetlistReport:
+    """Summary figures of one netlist."""
+
+    name: str
+    area_um2: float
+    critical_path_ns: float
+    gate_count: int
+    logic_depth: int
+    cell_histogram: Dict[str, int]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "area_um2": round(self.area_um2, 1),
+            "critical_path_ns": round(self.critical_path_ns, 3),
+            "gate_count": self.gate_count,
+            "logic_depth": self.logic_depth,
+            "cells": dict(self.cell_histogram),
+        }
+
+
+class Netlist:
+    """A combinational circuit built from standard cells."""
+
+    def __init__(self, name: str, library: TechnologyLibrary) -> None:
+        self.name = name
+        self.library = library
+        self.graph = nx.DiGraph()
+        self._gate_counter = 0
+        self.outputs: List[str] = []
+
+    # ------------------------------------------------------------- building
+
+    def add_input(self, name: str) -> str:
+        """Declare a primary input."""
+        if self.graph.has_node(name):
+            raise ValueError(f"node {name!r} already exists")
+        self.graph.add_node(name, kind="input", delay=0.0, area=0.0)
+        return name
+
+    def add_inputs(self, prefix: str, count: int) -> List[str]:
+        """Declare ``count`` primary inputs named ``prefix[i]``."""
+        return [self.add_input(f"{prefix}[{i}]") for i in range(count)]
+
+    def add_gate(self, cell: str, inputs: Sequence[str], name: Optional[str] = None) -> str:
+        """Instantiate a cell driven by ``inputs``; returns the output node."""
+        cell_info = self.library.cell(cell)
+        if name is None:
+            name = f"{cell.lower()}_{self._gate_counter}"
+            self._gate_counter += 1
+        if self.graph.has_node(name):
+            raise ValueError(f"node {name!r} already exists")
+        for source in inputs:
+            if not self.graph.has_node(source):
+                raise ValueError(f"gate {name!r} references unknown node {source!r}")
+        self.graph.add_node(
+            name,
+            kind="gate",
+            cell=cell,
+            delay=cell_info.delay_ns * self.library.wire_delay_factor,
+            area=cell_info.area_um2,
+        )
+        for source in inputs:
+            self.graph.add_edge(source, name)
+        return name
+
+    def xor_tree(self, inputs: Sequence[str], name_prefix: str = "xt") -> str:
+        """Reduce ``inputs`` with a balanced tree of 2-input XOR gates."""
+        nodes = list(inputs)
+        if not nodes:
+            raise ValueError("xor_tree needs at least one input")
+        level = 0
+        while len(nodes) > 1:
+            next_nodes = []
+            for position in range(0, len(nodes) - 1, 2):
+                next_nodes.append(
+                    self.add_gate(
+                        "XOR2",
+                        [nodes[position], nodes[position + 1]],
+                        name=f"{name_prefix}_{level}_{position // 2}_{self._bump()}",
+                    )
+                )
+            if len(nodes) % 2:
+                next_nodes.append(nodes[-1])
+            nodes = next_nodes
+            level += 1
+        return nodes[0]
+
+    def mark_output(self, node: str) -> None:
+        """Record ``node`` as a primary output (informational)."""
+        if not self.graph.has_node(node):
+            raise ValueError(f"unknown node {node!r}")
+        self.outputs.append(node)
+
+    def _bump(self) -> int:
+        self._gate_counter += 1
+        return self._gate_counter
+
+    # ------------------------------------------------------------- analysis
+
+    def area_um2(self) -> float:
+        """Total cell area."""
+        return float(sum(data["area"] for _, data in self.graph.nodes(data=True)))
+
+    def gate_count(self) -> int:
+        """Number of cell instances."""
+        return sum(1 for _, data in self.graph.nodes(data=True) if data["kind"] == "gate")
+
+    def cell_histogram(self) -> Dict[str, int]:
+        """Instance count per cell type."""
+        counter: Counter = Counter(
+            data["cell"] for _, data in self.graph.nodes(data=True) if data["kind"] == "gate"
+        )
+        return dict(counter)
+
+    def arrival_times(self) -> Dict[str, float]:
+        """Arrival time (ns) at the output of every node."""
+        if not nx.is_directed_acyclic_graph(self.graph):
+            raise ValueError(f"netlist {self.name!r} contains a combinational loop")
+        arrivals: Dict[str, float] = {}
+        for node in nx.topological_sort(self.graph):
+            data = self.graph.nodes[node]
+            incoming = [arrivals[p] for p in self.graph.predecessors(node)]
+            arrivals[node] = (max(incoming) if incoming else 0.0) + data["delay"]
+        return arrivals
+
+    def critical_path_ns(self) -> float:
+        """Longest input-to-output delay."""
+        arrivals = self.arrival_times()
+        return max(arrivals.values()) if arrivals else 0.0
+
+    def logic_depth(self) -> int:
+        """Maximum number of gates on any input-to-output path."""
+        if not nx.is_directed_acyclic_graph(self.graph):
+            raise ValueError(f"netlist {self.name!r} contains a combinational loop")
+        depths: Dict[str, int] = {}
+        for node in nx.topological_sort(self.graph):
+            data = self.graph.nodes[node]
+            incoming = [depths[p] for p in self.graph.predecessors(node)]
+            own = 1 if data["kind"] == "gate" else 0
+            depths[node] = (max(incoming) if incoming else 0) + own
+        return max(depths.values()) if depths else 0
+
+    def report(self) -> NetlistReport:
+        """Produce the summary used by the Table 1 driver."""
+        return NetlistReport(
+            name=self.name,
+            area_um2=self.area_um2(),
+            critical_path_ns=self.critical_path_ns(),
+            gate_count=self.gate_count(),
+            logic_depth=self.logic_depth(),
+            cell_histogram=self.cell_histogram(),
+        )

@@ -1,0 +1,92 @@
+"""Standard-cell technology model for the ASIC cost estimates.
+
+Table 1 of the paper reports the area and delay of the hRP and RM placement
+modules synthesised with Synopsys DC on a TSMC 45 nm library.  Neither the
+library nor the tool is available here, so the area/delay evaluation is done
+against a small generic 45 nm-class standard-cell model: a handful of cells
+with per-cell area (um^2) and intrinsic delay (ns) figures in the range of
+published 45 nm data (NAND2 around 1 um^2, gate delays of 10-40 ps).
+
+What matters for the reproduction is not the absolute accuracy of those
+constants but that both modules are costed against the *same* library, so
+that the area ratio (~10x) and delay ratio (~0.73x) of Table 1 emerge from
+the structural difference between the two circuits (a wide rotate/XOR
+datapath vs. a narrow pass-gate permutation network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["Cell", "TechnologyLibrary", "generic_45nm_library"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One standard cell: area in um^2 and pin-to-pin delay in ns."""
+
+    name: str
+    area_um2: float
+    delay_ns: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.area_um2 <= 0 or self.delay_ns <= 0:
+            raise ValueError(f"{self.name}: area and delay must be positive")
+
+
+class TechnologyLibrary:
+    """A named collection of standard cells."""
+
+    def __init__(self, name: str, cells: Dict[str, Cell], wire_delay_factor: float = 1.15) -> None:
+        if wire_delay_factor < 1.0:
+            raise ValueError("wire_delay_factor must be >= 1.0")
+        self.name = name
+        self._cells = dict(cells)
+        #: Multiplier applied to pure gate delays to account for local wiring.
+        self.wire_delay_factor = wire_delay_factor
+
+    def cell(self, name: str) -> Cell:
+        try:
+            return self._cells[name]
+        except KeyError as error:
+            raise KeyError(
+                f"library {self.name!r} has no cell {name!r}; "
+                f"available: {sorted(self._cells)}"
+            ) from error
+
+    def area(self, name: str, count: int = 1) -> float:
+        """Total area of ``count`` instances of ``name``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return self.cell(name).area_um2 * count
+
+    def delay(self, name: str, levels: int = 1) -> float:
+        """Delay of ``levels`` series instances of ``name`` including wiring."""
+        if levels < 0:
+            raise ValueError("levels must be non-negative")
+        return self.cell(name).delay_ns * levels * self.wire_delay_factor
+
+    @property
+    def cells(self) -> Dict[str, Cell]:
+        return dict(self._cells)
+
+
+def generic_45nm_library() -> TechnologyLibrary:
+    """A generic 45 nm-class library with typical published cell figures."""
+    cells = {
+        "INV": Cell("INV", area_um2=0.80, delay_ns=0.011, description="inverter"),
+        "BUF": Cell("BUF", area_um2=1.06, delay_ns=0.016, description="buffer"),
+        "NAND2": Cell("NAND2", area_um2=1.06, delay_ns=0.014, description="2-input NAND"),
+        "XOR2": Cell("XOR2", area_um2=2.40, delay_ns=0.032, description="2-input XOR"),
+        "MUX2": Cell("MUX2", area_um2=2.12, delay_ns=0.026, description="2:1 multiplexer"),
+        "PASSGATE": Cell(
+            "PASSGATE",
+            area_um2=0.60,
+            delay_ns=0.009,
+            description="transmission-gate 2:1 switch leg",
+        ),
+        "DFF": Cell("DFF", area_um2=4.52, delay_ns=0.085, description="D flip-flop"),
+    }
+    return TechnologyLibrary("generic-45nm", cells)

@@ -1,0 +1,45 @@
+"""MBPTA statistics: EVT/Gumbel fitting, i.i.d. admission tests, the protocol."""
+
+from .evt import (
+    EULER_MASCHERONI,
+    GumbelFit,
+    PWcetCurve,
+    block_maxima,
+    empirical_ccdf,
+    fit_gumbel,
+)
+from .protocol import (
+    DEFAULT_EXCEEDANCE_PROBABILITIES,
+    MbptaConfig,
+    MbptaResult,
+    apply_mbpta,
+)
+from .tests import (
+    IidAssessment,
+    TestResult,
+    exponential_tail_test,
+    identical_distribution_test,
+    iid_assessment,
+    ks_two_sample_test,
+    wald_wolfowitz_test,
+)
+
+__all__ = [
+    "EULER_MASCHERONI",
+    "GumbelFit",
+    "PWcetCurve",
+    "block_maxima",
+    "empirical_ccdf",
+    "fit_gumbel",
+    "DEFAULT_EXCEEDANCE_PROBABILITIES",
+    "MbptaConfig",
+    "MbptaResult",
+    "apply_mbpta",
+    "IidAssessment",
+    "TestResult",
+    "exponential_tail_test",
+    "identical_distribution_test",
+    "iid_assessment",
+    "ks_two_sample_test",
+    "wald_wolfowitz_test",
+]

@@ -1,0 +1,5 @@
+"""Platform configuration factories (LEON3-like memory systems)."""
+
+from .leon3 import Leon3Parameters, PLATFORM_SETUPS, leon3_hierarchy, platform_setup
+
+__all__ = ["Leon3Parameters", "PLATFORM_SETUPS", "leon3_hierarchy", "platform_setup"]

@@ -1,0 +1,225 @@
+"""TISA program versions of the paper's workload patterns.
+
+The trace generators in :mod:`repro.workloads.eembc` and
+:mod:`repro.workloads.synthetic` are the fast path used by the measurement
+campaigns.  This module provides the same access patterns as *real programs*
+for the bundled mini ISA, so that the full stack — assembler, functional
+interpreter, cache hierarchy, MBPTA — can be exercised end to end (see
+``examples/isa_program_demo.py``).  Each builder returns a
+:class:`~repro.cpu.assembler.Program` whose recorded trace can be fed to the
+campaign engine exactly like a generated trace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cpu.assembler import Program, ProgramBuilder
+from ..cpu.isa import Opcode
+from .base import MemoryLayout
+
+__all__ = [
+    "vector_traversal_program",
+    "table_lookup_program",
+    "matrix_multiply_program",
+    "pointer_chase_program",
+]
+
+#: Register conventions used by the builders (purely local convention).
+_BASE, _LIMIT, _CURSOR, _VALUE, _ACC, _STRIDE, _TMP = 1, 2, 3, 4, 5, 6, 7
+
+
+def vector_traversal_program(
+    footprint_bytes: int = 8 * 1024,
+    iterations: int = 4,
+    element_stride: int = 32,
+    layout: Optional[MemoryLayout] = None,
+) -> Program:
+    """The synthetic kernel of Section 4: sum a vector, ``iterations`` times.
+
+    One load per ``element_stride`` bytes, exactly like
+    :func:`repro.workloads.synthetic.synthetic_vector_trace`.
+    """
+    if footprint_bytes <= 0 or iterations <= 0 or element_stride <= 0:
+        raise ValueError("footprint_bytes, iterations and element_stride must be positive")
+    layout = layout or MemoryLayout()
+    builder = ProgramBuilder(
+        name=f"vector_traversal_{footprint_bytes // 1024}KB",
+        code_base=layout.code_base,
+        data_base=layout.data_base,
+    )
+    outer = 8  # iteration counter register
+    builder.li(_ACC, 0)
+    builder.li(outer, iterations)
+    builder.label("outer")
+    builder.li(_BASE, layout.data_base)
+    builder.li(_LIMIT, layout.data_base + footprint_bytes)
+    builder.li(_STRIDE, element_stride)
+    builder.label("inner")
+    builder.load(_VALUE, _BASE, 0)
+    builder.op(Opcode.ADD, _ACC, _ACC, _VALUE)
+    builder.op(Opcode.ADD, _BASE, _BASE, _STRIDE)
+    builder.branch(Opcode.BLT, _BASE, _LIMIT, "inner")
+    builder.op_imm(Opcode.ADDI, outer, outer, -1)
+    builder.branch(Opcode.BNE, outer, 0, "outer")
+    builder.store(_ACC, _BASE, -4)
+    builder.halt()
+    return builder.build()
+
+
+def table_lookup_program(
+    table_bytes: int = 4 * 1024,
+    lookups: int = 512,
+    multiplier: int = 13,
+    layout: Optional[MemoryLayout] = None,
+) -> Program:
+    """A tblook-style kernel: pseudo-random indexed loads from one table.
+
+    The index sequence ``i * multiplier mod table_words`` is data independent
+    (it is "program input"), so the trace is identical in every run, as the
+    MBPTA methodology requires.
+    """
+    if table_bytes <= 0 or lookups <= 0:
+        raise ValueError("table_bytes and lookups must be positive")
+    words = table_bytes // 4
+    if words & (words - 1):
+        raise ValueError("table_bytes must describe a power-of-two number of words")
+    layout = layout or MemoryLayout()
+    builder = ProgramBuilder(
+        name="table_lookup",
+        code_base=layout.code_base,
+        data_base=layout.data_base,
+    )
+    mask_register, index_register, counter = 8, 9, 10
+    builder.li(_BASE, layout.data_base)
+    builder.li(_ACC, 0)
+    builder.li(counter, lookups)
+    builder.li(index_register, 1)
+    builder.li(mask_register, words - 1)
+    builder.li(_STRIDE, multiplier)
+    builder.li(_TMP, 4)
+    builder.label("loop")
+    builder.op(Opcode.MUL, index_register, index_register, _STRIDE)
+    builder.op(Opcode.AND, index_register, index_register, mask_register)
+    builder.op(Opcode.MUL, _CURSOR, index_register, _TMP)
+    builder.op(Opcode.ADD, _CURSOR, _CURSOR, _BASE)
+    builder.load(_VALUE, _CURSOR, 0)
+    builder.op(Opcode.ADD, _ACC, _ACC, _VALUE)
+    builder.op_imm(Opcode.ADDI, index_register, index_register, 1)
+    builder.op_imm(Opcode.ADDI, counter, counter, -1)
+    builder.branch(Opcode.BNE, counter, 0, "loop")
+    builder.store(_ACC, _BASE, 0)
+    builder.halt()
+    return builder.build()
+
+
+def matrix_multiply_program(
+    dimension: int = 16,
+    layout: Optional[MemoryLayout] = None,
+) -> Program:
+    """A matrix-style kernel: C = A x B over ``dimension``-square word matrices.
+
+    Row-major A, column walks over B — the access pattern that motivates the
+    ``matrix`` EEMBC stand-in.
+    """
+    if dimension <= 0:
+        raise ValueError("dimension must be positive")
+    layout = layout or MemoryLayout()
+    words = dimension * dimension
+    a_base = layout.data_base
+    b_base = a_base + 4 * words
+    c_base = b_base + 4 * words
+    builder = ProgramBuilder(
+        name=f"matmul_{dimension}x{dimension}",
+        code_base=layout.code_base,
+        data_base=layout.data_base,
+    )
+    row, column, k, a_ptr, b_ptr, c_ptr = 8, 9, 10, 11, 12, 13
+    row_stride, four = 14, 15
+    builder.li(four, 4)
+    builder.li(row_stride, 4 * dimension)
+    builder.li(_LIMIT, dimension)
+    builder.li(c_ptr, c_base)
+    builder.li(row, 0)
+    builder.label("row_loop")
+    builder.li(column, 0)
+    builder.label("col_loop")
+    builder.li(_ACC, 0)
+    builder.li(k, 0)
+    # a_ptr = A + row * dimension * 4 ; b_ptr = B + column * 4
+    builder.op(Opcode.MUL, a_ptr, row, row_stride)
+    builder.op_imm(Opcode.ADDI, a_ptr, a_ptr, a_base)
+    builder.op(Opcode.MUL, b_ptr, column, four)
+    builder.op_imm(Opcode.ADDI, b_ptr, b_ptr, b_base)
+    builder.label("k_loop")
+    builder.load(_VALUE, a_ptr, 0)
+    builder.load(_TMP, b_ptr, 0)
+    builder.op(Opcode.MUL, _VALUE, _VALUE, _TMP)
+    builder.op(Opcode.ADD, _ACC, _ACC, _VALUE)
+    builder.op(Opcode.ADD, a_ptr, a_ptr, four)
+    builder.op(Opcode.ADD, b_ptr, b_ptr, row_stride)
+    builder.op_imm(Opcode.ADDI, k, k, 1)
+    builder.branch(Opcode.BLT, k, _LIMIT, "k_loop")
+    builder.store(_ACC, c_ptr, 0)
+    builder.op(Opcode.ADD, c_ptr, c_ptr, four)
+    builder.op_imm(Opcode.ADDI, column, column, 1)
+    builder.branch(Opcode.BLT, column, _LIMIT, "col_loop")
+    builder.op_imm(Opcode.ADDI, row, row, 1)
+    builder.branch(Opcode.BLT, row, _LIMIT, "row_loop")
+    builder.halt()
+    return builder.build()
+
+
+def pointer_chase_program(
+    nodes: int = 256,
+    hops: int = 1024,
+    layout: Optional[MemoryLayout] = None,
+) -> Program:
+    """A pntrch-style kernel: follow a linked list laid out in memory.
+
+    The list must be pre-initialised in memory (each node word holds the
+    byte address of the next node); :func:`pointer_chase_memory` builds a
+    suitable image.
+    """
+    if nodes <= 0 or hops <= 0:
+        raise ValueError("nodes and hops must be positive")
+    layout = layout or MemoryLayout()
+    builder = ProgramBuilder(
+        name="pointer_chase",
+        code_base=layout.code_base,
+        data_base=layout.data_base,
+    )
+    counter = 8
+    builder.li(_CURSOR, layout.data_base)
+    builder.li(counter, hops)
+    builder.li(_ACC, 0)
+    builder.label("chase")
+    builder.load(_CURSOR, _CURSOR, 0)
+    builder.op_imm(Opcode.ADDI, _ACC, _ACC, 1)
+    builder.op_imm(Opcode.ADDI, counter, counter, -1)
+    builder.branch(Opcode.BNE, counter, 0, "chase")
+    builder.store(_ACC, _CURSOR, 4)
+    builder.halt()
+    return builder.build()
+
+
+def pointer_chase_memory(
+    nodes: int = 256,
+    stride_nodes: int = 7,
+    layout: Optional[MemoryLayout] = None,
+) -> dict:
+    """Initial memory image for :func:`pointer_chase_program`.
+
+    Nodes are 32 bytes apart (one per cache line); node ``i`` points to node
+    ``(i + stride_nodes) mod nodes``, giving a full cycle when
+    ``stride_nodes`` is co-prime with ``nodes``.
+    """
+    if nodes <= 0:
+        raise ValueError("nodes must be positive")
+    layout = layout or MemoryLayout()
+    memory = {}
+    for node in range(nodes):
+        address = layout.data_base + node * 32
+        target = layout.data_base + ((node + stride_nodes) % nodes) * 32
+        memory[address] = target
+    return memory

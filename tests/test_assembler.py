@@ -1,0 +1,120 @@
+"""Tests for the TISA assembler and program container."""
+
+import pytest
+
+from repro.cpu.assembler import AssemblyError, ProgramBuilder, assemble
+from repro.cpu.isa import INSTRUCTION_SIZE, Instruction, Opcode
+
+
+class TestInstruction:
+    def test_register_range_checked(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, rd=32)
+
+    def test_branch_needs_target_or_label(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BEQ)
+
+    def test_describe_formats(self):
+        assert Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3).describe() == "add r1, r2, r3"
+        assert Instruction(Opcode.LD, rd=1, rs1=2, imm=8).describe() == "ld r1, r2, 8"
+        assert Instruction(Opcode.NOP).describe() == "nop"
+
+    def test_opcode_classes(self):
+        assert Opcode.ADD.is_alu
+        assert Opcode.LD.is_memory
+        assert Opcode.BEQ.is_branch
+        assert not Opcode.HALT.is_alu
+
+
+class TestProgramBuilder:
+    def test_labels_resolve_to_addresses(self):
+        builder = ProgramBuilder()
+        builder.label("start")
+        builder.nop()
+        builder.jump("start")
+        builder.halt()
+        program = builder.build()
+        assert program.instructions[1].target == program.code_base
+
+    def test_duplicate_label_rejected(self):
+        builder = ProgramBuilder()
+        builder.label("x")
+        builder.nop()
+        with pytest.raises(AssemblyError):
+            builder.label("x")
+
+    def test_undefined_label_rejected(self):
+        builder = ProgramBuilder()
+        builder.jump("nowhere")
+        with pytest.raises(AssemblyError):
+            builder.build()
+
+    def test_branch_helper_rejects_jmp(self):
+        builder = ProgramBuilder()
+        with pytest.raises(AssemblyError):
+            builder.branch(Opcode.JMP, 0, 0, "label")
+
+    def test_address_index_roundtrip(self):
+        builder = ProgramBuilder()
+        builder.nop(5)
+        builder.halt()
+        program = builder.build()
+        for index in range(len(program)):
+            assert program.index_of(program.address_of(index)) == index
+
+    def test_index_of_rejects_out_of_range(self):
+        program = ProgramBuilder().build()
+        with pytest.raises(ValueError):
+            program.index_of(0x1234_5678)
+
+
+class TestTextAssembler:
+    def test_simple_program(self):
+        program = assemble(
+            """
+            ; count down from 3
+                li   r1, 3
+            loop:
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                halt
+            """
+        )
+        assert len(program) == 4
+        assert program.instructions[0].opcode == Opcode.LUI
+        assert program.instructions[2].label == "loop"
+        assert program.instructions[2].target == program.code_base + INSTRUCTION_SIZE
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = assemble("# only comments\n\n; nothing\nhalt\n")
+        assert len(program) == 1
+
+    def test_ld_st_operand_order(self):
+        program = assemble("ld r2, r1, 8\nst r3, r1, 12\nhalt")
+        load, store = program.instructions[0], program.instructions[1]
+        assert (load.rd, load.rs1, load.imm) == (2, 1, 8)
+        assert (store.rs2, store.rs1, store.imm) == (3, 1, 12)
+
+    def test_hex_immediates(self):
+        program = assemble("li r1, 0x40100000\nhalt")
+        assert program.instructions[0].imm == 0x40100000
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("frobnicate r1, r2, r3")
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, x2, r3")
+
+    def test_wrong_operand_count_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, r2")
+
+    def test_listing_contains_labels_and_addresses(self):
+        program = assemble("start:\n nop\n jmp start\n halt", name="listing")
+        listing = program.listing()
+        assert "start:" in listing
+        assert "jmp start" in listing
+        assert f"{program.code_base:#010x}" in listing

@@ -1,0 +1,111 @@
+"""Tests for the permutation networks used by Random Modulo."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.benes import (
+    BenesNetwork,
+    OddEvenNetwork,
+    make_permutation_network,
+)
+
+
+class TestBenesStructure:
+    def test_width_8_has_20_switches(self):
+        # The paper: "When using a 8-bit Benes network 20 bits are required
+        # to drive the actual permutation of the index bits."
+        assert BenesNetwork(8).num_switches == 20
+
+    def test_width_2_is_single_switch(self):
+        assert BenesNetwork(2).num_switches == 1
+
+    def test_width_4_has_6_switches(self):
+        assert BenesNetwork(4).num_switches == 6
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            BenesNetwork(7)
+
+    def test_switch_positions_are_valid_wires(self):
+        network = BenesNetwork(16)
+        for a, b in network.switches:
+            assert 0 <= a < 16 and 0 <= b < 16 and a != b
+
+
+class TestOddEvenStructure:
+    def test_arbitrary_width(self):
+        network = OddEvenNetwork(7)
+        assert network.width == 7
+        assert network.num_switches == 21  # 7 columns alternating 3/3 switches
+
+    def test_single_wire_has_no_switches(self):
+        assert OddEvenNetwork(1).num_switches == 0
+
+    def test_rejects_zero_columns(self):
+        with pytest.raises(ValueError):
+            OddEvenNetwork(4, columns=0)
+
+
+class TestFactory:
+    def test_power_of_two_gets_benes(self):
+        assert isinstance(make_permutation_network(8), BenesNetwork)
+
+    def test_other_widths_get_odd_even(self):
+        assert isinstance(make_permutation_network(7), OddEvenNetwork)
+
+    def test_width_one(self):
+        network = make_permutation_network(1)
+        assert network.apply(0, 0) == 0
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            make_permutation_network(0)
+
+
+class TestPermutationProperty:
+    """Any control word must realise a bijection — the core RM guarantee."""
+
+    @given(controls=st.integers(0, 2**20 - 1))
+    def test_benes8_every_control_is_bijection(self, controls):
+        network = BenesNetwork(8)
+        images = {network.apply(value, controls) for value in range(256)}
+        assert images == set(range(256))
+
+    @given(controls=st.integers(0, 2**21 - 1))
+    def test_oddeven7_every_control_is_bijection(self, controls):
+        network = OddEvenNetwork(7)
+        images = {network.apply(value, controls) for value in range(128)}
+        assert images == set(range(128))
+
+    @given(controls=st.integers(0, 2**6 - 1), value=st.integers(0, 15))
+    def test_apply_matches_wire_permutation(self, controls, value):
+        network = BenesNetwork(4)
+        wires = network.wire_permutation(controls)
+        expected = 0
+        for position, source in enumerate(wires):
+            expected |= ((value >> source) & 1) << position
+        assert network.apply(value, controls) == expected
+
+    def test_benes4_reaches_every_permutation(self):
+        # Rearrangeability check: 2^6 control words must cover all 4! = 24
+        # wire permutations of a 4-wide Benes network.
+        network = BenesNetwork(4)
+        reached = {tuple(network.wire_permutation(c)) for c in range(64)}
+        assert len(reached) == 24
+
+    def test_oddeven5_reaches_every_permutation(self):
+        network = OddEvenNetwork(5)
+        reached = {
+            tuple(network.wire_permutation(c)) for c in range(1 << network.num_switches)
+        }
+        assert len(reached) == 120
+
+    def test_zero_controls_is_identity(self):
+        for network in (BenesNetwork(8), OddEvenNetwork(7)):
+            for value in (0, 1, 42, network.width**2 % (1 << network.width)):
+                assert network.apply(value, 0) == value
+
+    def test_wrong_bit_count_rejected(self):
+        with pytest.raises(ValueError):
+            BenesNetwork(4).permute_bits([0, 1], controls=0)

@@ -1,0 +1,38 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for identifier in EXPERIMENTS:
+            assert identifier in output
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table9"])
+
+    def test_missing_command_is_an_error(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestRun:
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+        assert "finished" in output
+
+    def test_run_fig1_with_small_campaign(self, capsys):
+        assert main(["run", "fig1", "--runs", "40", "--scale", "0.25", "--seed", "7"]) == 0
+        output = capsys.readouterr().out
+        assert "pWCET" in output
+
+    def test_run_ablation_replacement_small(self, capsys):
+        assert main(["run", "ablation_repl", "--runs", "25", "--scale", "0.25"]) == 0
+        assert "placement x replacement" in capsys.readouterr().out

@@ -1,0 +1,152 @@
+"""Cross-validation of the fast campaign engine against the reference model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import CacheConfig
+from repro.cache.fastsim import CompiledTrace, FastHierarchySimulator, simulate_trace
+from repro.cache.hierarchy import HierarchyConfig, MemoryTimings
+from repro.cpu.core import TraceDrivenCore
+from repro.cpu.trace import AccessKind, Trace
+from repro.platform.leon3 import platform_setup
+from repro.workloads.eembc import eembc_trace
+
+
+def tiny_config(l1_placement="rm", l1_replacement="random", l1_write="write-through", with_l2=True):
+    il1 = CacheConfig(
+        name="IL1", size_bytes=512, ways=2, line_size=32,
+        placement=l1_placement, replacement=l1_replacement, write_policy=l1_write,
+    )
+    dl1 = CacheConfig(
+        name="DL1", size_bytes=512, ways=2, line_size=32,
+        placement=l1_placement, replacement=l1_replacement, write_policy=l1_write,
+    )
+    l2 = (
+        CacheConfig(
+            name="L2", size_bytes=2048, ways=4, line_size=32,
+            placement="hrp", replacement="random", write_policy="write-back",
+        )
+        if with_l2
+        else None
+    )
+    return HierarchyConfig(il1=il1, dl1=dl1, l2=l2, timings=MemoryTimings())
+
+
+def random_trace(draw_addresses, kinds):
+    trace = Trace(name="hypothesis")
+    for kind, address in zip(kinds, draw_addresses):
+        trace.append(kind, address)
+    return trace
+
+
+class TestCompiledTrace:
+    def test_unique_lines_and_ids(self):
+        trace = Trace()
+        trace.fetch(0x1000)
+        trace.fetch(0x1004)   # same line
+        trace.load(0x2000)
+        compiled = CompiledTrace(trace, line_size=32)
+        assert len(compiled) == 3
+        assert len(compiled.unique_lines) == 2
+        assert compiled.line_ids[0] == compiled.line_ids[1]
+        assert compiled.footprint_bytes == 64
+
+    def test_kind_constants_match_access_kind(self):
+        from repro.cache.fastsim import FETCH_KIND, LOAD_KIND, STORE_KIND
+
+        assert FETCH_KIND == int(AccessKind.FETCH)
+        assert LOAD_KIND == int(AccessKind.LOAD)
+        assert STORE_KIND == int(AccessKind.STORE)
+
+
+class TestAgainstReference:
+    """The fast engine must match the reference model bit-exactly."""
+
+    @pytest.mark.parametrize("placement", ["modulo", "xor", "hrp", "rm"])
+    @pytest.mark.parametrize("replacement", ["random", "lru"])
+    def test_policies_match_on_kernel_trace(self, placement, replacement, small_kernel_trace):
+        config = tiny_config(l1_placement=placement, l1_replacement=replacement)
+        core = TraceDrivenCore(config, small_kernel_trace)
+        for seed in (0, 1, 12345):
+            assert core.run_fast(seed).as_dict() == core.run_reference(seed).as_dict()
+
+    def test_write_back_l1_matches(self, small_kernel_trace):
+        config = tiny_config(l1_write="write-back")
+        core = TraceDrivenCore(config, small_kernel_trace)
+        for seed in (3, 17):
+            assert core.run_fast(seed).as_dict() == core.run_reference(seed).as_dict()
+
+    def test_no_l2_matches(self, small_kernel_trace):
+        config = tiny_config(with_l2=False)
+        core = TraceDrivenCore(config, small_kernel_trace)
+        assert core.run_fast(7).as_dict() == core.run_reference(7).as_dict()
+
+    def test_leon3_config_matches_on_eembc(self):
+        trace = eembc_trace("rspeed")
+        core = TraceDrivenCore(platform_setup("rm"), trace)
+        assert core.run_fast(11).as_dict() == core.run_reference(11).as_dict()
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        accesses=st.lists(
+            st.tuples(
+                st.sampled_from([0, 1, 2]),
+                st.integers(0, 63),
+            ),
+            min_size=10,
+            max_size=200,
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_traces_match_property(self, seed, accesses):
+        trace = Trace(name="hypothesis")
+        for kind, line in accesses:
+            trace.append(kind, 0x40000000 + line * 32)
+        config = tiny_config()
+        core = TraceDrivenCore(config, trace)
+        assert core.run_fast(seed).as_dict() == core.run_reference(seed).as_dict()
+
+
+class TestFastEngineBehaviour:
+    def test_same_seed_is_deterministic(self, small_kernel_trace):
+        config = tiny_config()
+        simulator = FastHierarchySimulator(config, CompiledTrace(small_kernel_trace))
+        assert simulator.run(42) == simulator.run(42)
+
+    def test_different_seeds_change_results_for_random_placement(self, small_kernel_trace):
+        config = tiny_config()
+        simulator = FastHierarchySimulator(config, CompiledTrace(small_kernel_trace))
+        cycles = {simulator.run(seed).cycles for seed in range(25)}
+        assert len(cycles) > 1
+
+    def test_modulo_placement_is_seed_invariant(self, small_kernel_trace):
+        config = tiny_config(l1_placement="modulo", l1_replacement="lru")
+        # Make the L2 deterministic as well.
+        config = HierarchyConfig(
+            il1=config.il1,
+            dl1=config.dl1,
+            l2=CacheConfig(
+                name="L2", size_bytes=2048, ways=4, line_size=32,
+                placement="modulo", replacement="lru", write_policy="write-back",
+            ),
+            timings=config.timings,
+        )
+        simulator = FastHierarchySimulator(config, CompiledTrace(small_kernel_trace))
+        assert len({simulator.run(seed).cycles for seed in range(10)}) == 1
+
+    def test_unsupported_replacement_rejected(self, small_kernel_trace):
+        config = tiny_config(l1_replacement="plru")
+        with pytest.raises(ValueError):
+            FastHierarchySimulator(config, CompiledTrace(small_kernel_trace)).run(0)
+
+    def test_simulate_trace_wrapper(self, small_kernel_trace):
+        result = simulate_trace(small_kernel_trace, tiny_config(), seed=5)
+        assert result.cycles > 0
+        assert result.il1_accesses + result.dl1_accesses == len(small_kernel_trace)
+
+    def test_miss_rates_are_rates(self, small_kernel_trace):
+        result = simulate_trace(small_kernel_trace, tiny_config(), seed=5)
+        assert 0.0 <= result.il1_miss_rate <= 1.0
+        assert 0.0 <= result.dl1_miss_rate <= 1.0
+        assert 0.0 <= result.l2_miss_rate <= 1.0

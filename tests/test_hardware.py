@@ -1,0 +1,165 @@
+"""Tests for the ASIC/FPGA hardware cost models (Table 1)."""
+
+import pytest
+
+from repro.core.placement import PlacementGeometry
+from repro.hardware.fpga import FpgaDevice, integrate_on_fpga
+from repro.hardware.modules import (
+    build_hrp_module,
+    build_rm_module,
+    hrp_module_cost,
+    modulo_module_cost,
+    rm_module_cost,
+)
+from repro.hardware.netlist import Netlist
+from repro.hardware.technology import Cell, TechnologyLibrary, generic_45nm_library
+
+L1_GEOMETRY = PlacementGeometry(num_sets=128, line_size=32)
+
+
+class TestTechnology:
+    def test_library_has_core_cells(self):
+        library = generic_45nm_library()
+        for cell in ("INV", "NAND2", "XOR2", "MUX2", "PASSGATE", "DFF"):
+            assert library.cell(cell).area_um2 > 0
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(KeyError):
+            generic_45nm_library().cell("NAND17")
+
+    def test_area_and_delay_helpers(self):
+        library = generic_45nm_library()
+        assert library.area("XOR2", 10) == pytest.approx(10 * library.cell("XOR2").area_um2)
+        assert library.delay("XOR2", 2) > library.delay("XOR2", 1)
+
+    def test_cell_validation(self):
+        with pytest.raises(ValueError):
+            Cell("BAD", area_um2=0.0, delay_ns=0.1)
+
+    def test_wire_factor_validation(self):
+        with pytest.raises(ValueError):
+            TechnologyLibrary("x", {}, wire_delay_factor=0.5)
+
+
+class TestNetlist:
+    def test_area_and_depth_of_xor_tree(self):
+        library = generic_45nm_library()
+        netlist = Netlist("tree", library)
+        inputs = netlist.add_inputs("a", 8)
+        output = netlist.xor_tree(inputs)
+        netlist.mark_output(output)
+        assert netlist.gate_count() == 7
+        assert netlist.logic_depth() == 3
+        assert netlist.area_um2() == pytest.approx(7 * library.cell("XOR2").area_um2)
+
+    def test_critical_path_accumulates_delay(self):
+        library = generic_45nm_library()
+        netlist = Netlist("chain", library)
+        node = netlist.add_input("in")
+        for _ in range(5):
+            node = netlist.add_gate("INV", [node])
+        per_gate = library.cell("INV").delay_ns * library.wire_delay_factor
+        assert netlist.critical_path_ns() == pytest.approx(5 * per_gate)
+
+    def test_duplicate_node_rejected(self):
+        netlist = Netlist("dup", generic_45nm_library())
+        netlist.add_input("a")
+        with pytest.raises(ValueError):
+            netlist.add_input("a")
+
+    def test_unknown_fanin_rejected(self):
+        netlist = Netlist("bad", generic_45nm_library())
+        with pytest.raises(ValueError):
+            netlist.add_gate("INV", ["ghost"])
+
+    def test_report_round_trip(self):
+        netlist = build_rm_module(L1_GEOMETRY)
+        report = netlist.report()
+        assert report.gate_count == netlist.gate_count()
+        assert report.area_um2 == pytest.approx(netlist.area_um2())
+        assert "PASSGATE" in report.cell_histogram
+
+
+class TestModuleCosts:
+    def test_rm_is_much_smaller_than_hrp(self):
+        hrp = hrp_module_cost(L1_GEOMETRY)
+        rm = rm_module_cost(L1_GEOMETRY)
+        # Table 1: roughly an order of magnitude difference.
+        assert hrp.logic_area_um2 / rm.logic_area_um2 > 5.0
+
+    def test_rm_is_faster_than_hrp(self):
+        hrp = hrp_module_cost(L1_GEOMETRY)
+        rm = rm_module_cost(L1_GEOMETRY)
+        # Table 1: ~27% delay reduction; accept anything clearly positive.
+        reduction = 1.0 - rm.delay_ns / hrp.delay_ns
+        assert 0.10 < reduction < 0.60
+
+    def test_absolute_delays_in_table1_range(self):
+        hrp = hrp_module_cost(L1_GEOMETRY)
+        rm = rm_module_cost(L1_GEOMETRY)
+        assert 0.3 < rm.delay_ns < 0.7
+        assert 0.5 < hrp.delay_ns < 1.0
+
+    def test_only_hrp_needs_tag_overhead(self):
+        assert hrp_module_cost(L1_GEOMETRY).tag_overhead_bits > 0
+        assert rm_module_cost(L1_GEOMETRY).tag_overhead_bits == 0
+
+    def test_modulo_reference_has_no_logic(self):
+        cost = modulo_module_cost(L1_GEOMETRY)
+        assert cost.report.gate_count == 0
+        assert cost.logic_area_um2 == 0.0
+
+    def test_hrp_module_structure(self):
+        netlist = build_hrp_module(L1_GEOMETRY)
+        histogram = netlist.report().cell_histogram
+        assert histogram["MUX2"] > histogram.get("XOR2", 0)  # barrel rotators dominate
+
+    def test_rm_module_structure(self):
+        histogram = build_rm_module(L1_GEOMETRY).report().cell_histogram
+        assert histogram["PASSGATE"] == 2 * 21  # two pass legs per switch
+        assert histogram["XOR2"] == 21
+
+    def test_costs_scale_with_cache_size(self):
+        small = rm_module_cost(PlacementGeometry(num_sets=64, line_size=32))
+        large = rm_module_cost(PlacementGeometry(num_sets=1024, line_size=32))
+        assert large.logic_area_um2 > small.logic_area_um2
+
+    def test_as_dict_round_trip(self):
+        data = hrp_module_cost(L1_GEOMETRY).as_dict()
+        for key in ("logic_area_um2", "total_area_um2", "delay_ns", "gate_count"):
+            assert key in data
+
+
+class TestFpgaModel:
+    def test_baseline_and_integrations(self):
+        hrp = integrate_on_fpga(hrp_module_cost(L1_GEOMETRY))
+        rm = integrate_on_fpga(rm_module_cost(L1_GEOMETRY))
+        device = FpgaDevice()
+        assert rm.occupancy > device.baseline_occupancy
+        assert hrp.occupancy > rm.occupancy
+        assert rm.frequency_mhz == device.baseline_frequency_mhz
+        assert hrp.frequency_mhz < device.baseline_frequency_mhz
+
+    def test_matches_table1_shape(self):
+        hrp = integrate_on_fpga(hrp_module_cost(L1_GEOMETRY))
+        rm = integrate_on_fpga(rm_module_cost(L1_GEOMETRY))
+        assert 0.70 < rm.occupancy < 0.75
+        assert 0.77 < hrp.occupancy < 0.85
+        assert hrp.frequency_mhz == 80.0
+        assert rm.frequency_mhz == 100.0
+
+    def test_occupancy_is_capped_at_one(self):
+        tiny_device = FpgaDevice(total_alms=2000)
+        result = integrate_on_fpga(hrp_module_cost(L1_GEOMETRY), device=tiny_device)
+        assert result.occupancy <= 1.0
+
+    def test_device_validation(self):
+        with pytest.raises(ValueError):
+            FpgaDevice(baseline_occupancy=1.5)
+        with pytest.raises(ValueError):
+            FpgaDevice(total_alms=0)
+
+    def test_as_dict(self):
+        data = integrate_on_fpga(rm_module_cost(L1_GEOMETRY)).as_dict()
+        assert data["frequency_mhz"] == 100.0
+        assert "occupancy_percent" in data

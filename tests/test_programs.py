@@ -1,0 +1,121 @@
+"""Tests for the TISA program builders in repro.workloads.programs."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cpu.interpreter import run_program
+from repro.platform.leon3 import platform_setup
+from repro.workloads.base import MemoryLayout
+from repro.workloads.programs import (
+    matrix_multiply_program,
+    pointer_chase_memory,
+    pointer_chase_program,
+    table_lookup_program,
+    vector_traversal_program,
+)
+
+
+class TestVectorTraversal:
+    def test_sums_vector_repeatedly(self):
+        footprint, iterations = 512, 3
+        layout = MemoryLayout()
+        memory = {layout.data_base + offset: 2 for offset in range(0, footprint, 32)}
+        program = vector_traversal_program(footprint, iterations=iterations, layout=layout)
+        result = run_program(program, initial_memory=memory)
+        assert result.register(5) == 2 * (footprint // 32) * iterations
+
+    def test_trace_matches_generator_footprint(self):
+        footprint = 2048
+        program = vector_traversal_program(footprint, iterations=1)
+        result = run_program(program, record_trace=True)
+        data_lines = result.trace.split_by_kind(32)[1]
+        assert len(data_lines) == footprint // 32
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            vector_traversal_program(0)
+        with pytest.raises(ValueError):
+            vector_traversal_program(1024, iterations=0)
+
+
+class TestTableLookup:
+    def test_runs_and_touches_table(self):
+        program = table_lookup_program(table_bytes=1024, lookups=64)
+        result = run_program(program, record_trace=True)
+        assert result.trace.counts()["loads"] == 64
+        assert result.halted
+
+    def test_checksum_matches_python_model(self):
+        table_bytes, lookups, multiplier = 1024, 50, 13
+        layout = MemoryLayout()
+        words = table_bytes // 4
+        memory = {layout.data_base + 4 * i: i for i in range(words)}
+        program = table_lookup_program(table_bytes, lookups, multiplier, layout)
+        result = run_program(program, initial_memory=memory)
+        index, expected = 1, 0
+        for _ in range(lookups):
+            index = (index * multiplier) & (words - 1)
+            expected += index
+            index += 1
+        assert result.register(5) == expected
+
+    def test_rejects_non_power_of_two_table(self):
+        with pytest.raises(ValueError):
+            table_lookup_program(table_bytes=1000)
+
+
+class TestMatrixMultiply:
+    def test_small_matmul_is_correct(self):
+        dimension = 4
+        layout = MemoryLayout()
+        words = dimension * dimension
+        a = [[(row + column) % 5 for column in range(dimension)] for row in range(dimension)]
+        b = [[(row * column + 1) % 7 for column in range(dimension)] for row in range(dimension)]
+        memory = {}
+        for row in range(dimension):
+            for column in range(dimension):
+                memory[layout.data_base + 4 * (row * dimension + column)] = a[row][column]
+                memory[layout.data_base + 4 * (words + row * dimension + column)] = b[row][column]
+        program = matrix_multiply_program(dimension, layout=layout)
+        result = run_program(program, initial_memory=memory)
+        c_base = layout.data_base + 8 * words
+        for row in range(dimension):
+            for column in range(dimension):
+                expected = sum(a[row][k] * b[k][column] for k in range(dimension))
+                assert result.memory[c_base + 4 * (row * dimension + column)] == expected
+
+    def test_executes_on_hierarchy(self):
+        program = matrix_multiply_program(6)
+        hierarchy = CacheHierarchy(platform_setup("rm"), seed=3)
+        result = run_program(program, hierarchy=hierarchy)
+        assert result.cycles > result.instructions  # memory latencies were paid
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ValueError):
+            matrix_multiply_program(0)
+
+
+class TestPointerChase:
+    def test_chase_visits_cycle(self):
+        layout = MemoryLayout()
+        memory = pointer_chase_memory(nodes=16, stride_nodes=5, layout=layout)
+        program = pointer_chase_program(nodes=16, hops=32, layout=layout)
+        result = run_program(program, initial_memory=memory, record_trace=True)
+        assert result.register(5) == 32  # the accumulator counts every hop
+        assert result.trace.counts()["loads"] == 32
+
+    def test_memory_image_is_a_single_cycle(self):
+        layout = MemoryLayout()
+        memory = pointer_chase_memory(nodes=8, stride_nodes=3, layout=layout)
+        cursor, visited = layout.data_base, set()
+        for _ in range(8):
+            assert cursor not in visited
+            visited.add(cursor)
+            cursor = memory[cursor]
+        assert cursor == layout.data_base
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            pointer_chase_program(0, 1)
+        with pytest.raises(ValueError):
+            pointer_chase_memory(0)

@@ -1,0 +1,70 @@
+"""Smoke tests for the top-level public API and the example scripts."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self):
+        trace = repro.eembc_trace("rspeed", scale=0.25)
+        campaign = repro.run_campaign(
+            trace, repro.platform_setup("rm"), runs=30, master_seed=1
+        )
+        result = repro.apply_mbpta(campaign.execution_times)
+        assert result.pwcet_at(1e-15) >= campaign.high_water_mark
+
+    def test_placement_factory_exported(self):
+        geometry = repro.PlacementGeometry(num_sets=64, line_size=32)
+        policy = repro.make_placement("rm", geometry, seed=1)
+        assert policy.set_index(0) == 0  # all-zero index is a fixed point
+
+
+class TestDesignDocumentation:
+    """DESIGN.md / EXPERIMENTS.md must exist and reference the experiments."""
+
+    def test_design_md_lists_experiments(self):
+        text = (EXAMPLES_DIR.parent / "DESIGN.md").read_text()
+        for experiment in ("table1", "table2", "fig4a", "fig4b", "fig5", "avg_perf"):
+            assert experiment in text
+
+    def test_readme_exists(self):
+        assert (EXAMPLES_DIR.parent / "README.md").exists()
+
+    def test_experiments_md_exists(self):
+        assert (EXAMPLES_DIR.parent / "EXPERIMENTS.md").exists()
+
+
+@pytest.mark.slow
+class TestExamples:
+    """Each example script must run end-to-end (at reduced run counts)."""
+
+    @pytest.mark.parametrize(
+        "script, argv",
+        [
+            ("quickstart.py", []),
+            ("eembc_pwcet_campaign.py", ["40"]),
+            ("synthetic_footprints.py", ["30"]),
+            ("hardware_costs.py", []),
+            ("isa_program_demo.py", ["40"]),
+        ],
+    )
+    def test_example_runs(self, script, argv, capsys, monkeypatch):
+        path = EXAMPLES_DIR / script
+        monkeypatch.setattr(sys, "argv", [str(path)] + argv)
+        runpy.run_path(str(path), run_name="__main__")
+        output = capsys.readouterr().out
+        assert len(output) > 100

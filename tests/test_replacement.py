@@ -1,0 +1,119 @@
+"""Tests for the replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import (
+    REPLACEMENT_NAMES,
+    FifoReplacement,
+    LruReplacement,
+    RandomReplacement,
+    TreePlruReplacement,
+    make_replacement,
+)
+
+
+class TestFactory:
+    def test_all_names_constructible(self):
+        for name in REPLACEMENT_NAMES:
+            policy = make_replacement(name, num_sets=4, num_ways=4, seed=1)
+            assert policy.name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_replacement("mru", 4, 4)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            LruReplacement(0, 4)
+
+
+class TestLru:
+    def test_initial_victim_is_way_zero(self):
+        policy = LruReplacement(2, 4)
+        assert policy.victim(0) == 0
+
+    def test_touch_moves_to_mru(self):
+        policy = LruReplacement(1, 4)
+        policy.touch(0, 0)
+        assert policy.victim(0) == 1
+
+    def test_full_access_sequence(self):
+        policy = LruReplacement(1, 4)
+        for way in (0, 1, 2, 3):
+            policy.touch(0, way)
+        policy.touch(0, 0)  # 0 becomes MRU again
+        assert policy.victim(0) == 1
+
+    def test_sets_are_independent(self):
+        policy = LruReplacement(2, 2)
+        policy.touch(0, 0)
+        assert policy.victim(1) == 0
+
+    def test_reset_restores_initial_order(self):
+        policy = LruReplacement(1, 4)
+        policy.touch(0, 0)
+        policy.reset()
+        assert policy.victim(0) == 0
+
+
+class TestRandom:
+    def test_victims_in_range(self):
+        policy = RandomReplacement(4, 4, seed=9)
+        assert all(0 <= policy.victim(0) < 4 for _ in range(200))
+
+    def test_reproducible_per_seed(self):
+        a = RandomReplacement(1, 4, seed=3)
+        b = RandomReplacement(1, 4, seed=3)
+        assert [a.victim(0) for _ in range(50)] == [b.victim(0) for _ in range(50)]
+
+    def test_reseed_changes_sequence(self):
+        policy = RandomReplacement(1, 4, seed=3)
+        first = [policy.victim(0) for _ in range(50)]
+        policy.reseed(4)
+        assert [policy.victim(0) for _ in range(50)] != first
+
+    def test_covers_all_ways(self):
+        policy = RandomReplacement(1, 4, seed=1)
+        assert {policy.victim(0) for _ in range(200)} == {0, 1, 2, 3}
+
+    def test_touch_is_noop(self):
+        policy = RandomReplacement(1, 2, seed=1)
+        policy.touch(0, 1)  # must not raise
+
+
+class TestFifo:
+    def test_round_robin(self):
+        policy = FifoReplacement(1, 3)
+        assert [policy.victim(0) for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_reset(self):
+        policy = FifoReplacement(1, 3)
+        policy.victim(0)
+        policy.reset()
+        assert policy.victim(0) == 0
+
+
+class TestTreePlru:
+    def test_requires_power_of_two_ways(self):
+        with pytest.raises(ValueError):
+            TreePlruReplacement(1, 3)
+
+    def test_victim_in_range(self):
+        policy = TreePlruReplacement(1, 8)
+        assert 0 <= policy.victim(0) < 8
+
+    def test_recently_touched_way_is_protected(self):
+        policy = TreePlruReplacement(1, 4)
+        for _ in range(10):
+            policy.touch(0, 2)
+            assert policy.victim(0) != 2
+
+    def test_cycle_through_touches_is_fair(self):
+        policy = TreePlruReplacement(1, 4)
+        victims = set()
+        for round_index in range(4):
+            for way in range(4):
+                if way != round_index:
+                    policy.touch(0, way)
+            victims.add(policy.victim(0))
+        assert len(victims) >= 2
