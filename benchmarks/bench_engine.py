@@ -28,6 +28,21 @@ def test_fast_engine_single_run(benchmark, compiled_a2time):
     assert result.cycles > 0
 
 
+def test_fast_engine_batch_runs(benchmark, compiled_a2time):
+    """Chunked batch API: K seeds per call, trace setup amortised once."""
+    simulator = FastHierarchySimulator(platform_setup("rm"), compiled_a2time)
+    results = benchmark(simulator.run_batch, list(range(8)))
+    assert len(results) == 8
+    assert all(result.cycles > 0 for result in results)
+
+
+def test_fast_engine_batch_deterministic_placement(benchmark, compiled_a2time):
+    """Deterministic (modulo) placement reuses seed-invariant set/tag maps."""
+    simulator = FastHierarchySimulator(platform_setup("modulo"), compiled_a2time)
+    results = benchmark(simulator.run_batch, list(range(8)))
+    assert len({result.cycles for result in results}) == 1  # seed-insensitive
+
+
 @pytest.mark.parametrize("policy", ["modulo", "xor", "hrp", "rm"])
 def test_placement_throughput(benchmark, policy):
     geometry = PlacementGeometry(num_sets=128, line_size=32)

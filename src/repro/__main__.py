@@ -6,6 +6,8 @@ Usage::
     python -m repro run table1
     python -m repro run fig4a --runs 200
     python -m repro run all --runs 100 --scale 0.5
+    python -m repro run all --jobs 4          # parallel campaigns, bit-exact
+    python -m repro run table2 --jobs 0       # one worker per CPU
 
 Each experiment id corresponds to one table/figure of the paper (see
 DESIGN.md's per-experiment index); the output is the same plain-text table
@@ -61,6 +63,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--runs", type=int, default=None, help="measurement runs per campaign")
     run.add_argument("--scale", type=float, default=None, help="workload iteration scale factor")
     run.add_argument("--seed", type=int, default=None, help="campaign master seed")
+    run.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes per campaign (1 = serial, 0 = all CPUs); "
+        "results are bit-exact for any value",
+    )
+    run.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        default=None,
+        help="simulation engine (the reference engine is serial-only)",
+    )
     return parser
 
 
@@ -72,6 +88,10 @@ def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
         settings = replace(settings, scale=args.scale)
     if args.seed is not None:
         settings = replace(settings, master_seed=args.seed)
+    if args.jobs is not None:
+        settings = replace(settings, jobs=args.jobs)
+    if args.engine is not None:
+        settings = replace(settings, engine=args.engine)
     return settings
 
 
@@ -85,13 +105,20 @@ def _run_one(identifier: str, settings: ExperimentSettings) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.command == "list":
         width = max(len(name) for name in EXPERIMENTS)
         for name, (description, _) in EXPERIMENTS.items():
             print(f"{name.ljust(width)}  {description}")
         return 0
     settings = _settings_from_args(args)
+    # Validate after merging env vars (REPRO_JOBS) and command-line flags, so
+    # a bad value is rejected with a clean message wherever it came from.
+    if settings.jobs < 0:
+        parser.error(f"jobs must be >= 0 (0 = one worker per CPU), got {settings.jobs}")
+    if settings.engine == "reference" and settings.jobs != 1:
+        parser.error("the reference engine is serial-only; use it with --jobs 1")
     targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for identifier in targets:
         _run_one(identifier, settings)

@@ -32,6 +32,13 @@ class CampaignResult:
     run_results: List[TraceRunResult] = field(default_factory=list)
     master_seed: int = 0
 
+    def __post_init__(self) -> None:
+        if not self.execution_times:
+            raise ValueError(
+                f"campaign for workload {self.workload!r} (setup {self.setup!r}) "
+                "has no execution times; a CampaignResult needs at least one run"
+            )
+
     @property
     def runs(self) -> int:
         return len(self.execution_times)
@@ -71,29 +78,48 @@ def run_campaign(
     engine: str = "fast",
     timing: ExecutionTimingModel = ExecutionTimingModel(),
     keep_run_results: bool = False,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> CampaignResult:
     """Measure ``trace`` on ``config`` for ``runs`` runs with fresh seeds.
 
     Per-run seeds are derived deterministically from ``master_seed``, so the
     campaign (and everything downstream: i.i.d. tests, pWCET estimates) is
     exactly reproducible.
+
+    ``jobs`` selects the execution engine: ``1`` (the default) runs every
+    seed serially in-process, while ``jobs > 1`` (or ``0`` for one worker
+    per CPU) distributes seed chunks over a process pool — see
+    :mod:`repro.analysis.parallel`.  Both paths are bit-exact: the parallel
+    executor reassembles results in seed order, so the returned campaign is
+    identical for any ``jobs`` value.
     """
     if runs < 1:
         raise ValueError(f"runs must be >= 1, got {runs}")
+    from .parallel import resolve_jobs, run_campaign_parallel
+
+    effective_jobs = min(resolve_jobs(jobs), runs)
+    if effective_jobs > 1:
+        return run_campaign_parallel(
+            trace,
+            config,
+            runs,
+            master_seed=master_seed,
+            setup=setup,
+            engine=engine,
+            timing=timing,
+            keep_run_results=keep_run_results,
+            jobs=effective_jobs,
+            chunk_size=chunk_size,
+        )
     core = TraceDrivenCore(config, trace, timing=timing)
     seeds = derive_run_seeds(master_seed, runs)
-    execution_times: List[int] = []
-    run_results: List[TraceRunResult] = []
-    for seed in seeds:
-        result = core.run(seed, engine=engine)
-        execution_times.append(result.cycles)
-        if keep_run_results:
-            run_results.append(result)
+    results = core.run_batch(seeds, engine=engine)
     return CampaignResult(
         workload=trace.name,
         setup=setup or f"{config.il1.placement}/{config.il1.replacement}",
-        execution_times=execution_times,
-        run_results=run_results,
+        execution_times=[result.cycles for result in results],
+        run_results=list(results) if keep_run_results else [],
         master_seed=master_seed,
     )
 
@@ -107,6 +133,8 @@ def run_layout_campaign(
     layouts: Optional[Sequence[MemoryLayout]] = None,
     engine: str = "fast",
     timing: ExecutionTimingModel = ExecutionTimingModel(),
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> CampaignResult:
     """Measure a workload on a deterministic platform under varying layouts.
 
@@ -117,9 +145,32 @@ def run_layout_campaign(
     randomness), so all execution-time variability comes from the memory
     layout — exactly the situation the industrial high-water-mark practice
     faces.
+
+    With ``jobs > 1`` (or ``0`` for one worker per CPU) the layouts are
+    distributed over a process pool; ``trace_builder`` must then be
+    picklable under spawn-based start methods (see
+    :mod:`repro.analysis.parallel`).  Results are reassembled in layout
+    order, so serial and parallel campaigns are bit-exact.
     """
     if layouts is None:
+        if runs < 1:
+            raise ValueError(f"runs must be >= 1, got {runs}")
         layouts = random_layouts(runs, master_seed=master_seed)
+    from .parallel import resolve_jobs, run_layout_campaign_parallel
+
+    effective_jobs = min(resolve_jobs(jobs), len(layouts))
+    if effective_jobs > 1:
+        return run_layout_campaign_parallel(
+            trace_builder,
+            config,
+            layouts,
+            master_seed=master_seed,
+            setup=setup,
+            engine=engine,
+            timing=timing,
+            jobs=effective_jobs,
+            chunk_size=chunk_size,
+        )
     execution_times: List[int] = []
     name = ""
     for layout in layouts:

@@ -38,7 +38,7 @@ from ..mbpta.evt import empirical_ccdf
 from ..mbpta.protocol import MbptaConfig, MbptaResult, apply_mbpta
 from ..platform.leon3 import Leon3Parameters, platform_setup
 from ..workloads.base import MemoryLayout
-from ..workloads.eembc import eembc_kernel_names, eembc_trace
+from ..workloads.eembc import EembcLayoutTraceBuilder, eembc_kernel_names, eembc_trace
 from ..workloads.synthetic import SYNTHETIC_FOOTPRINTS, synthetic_vector_trace
 from .campaign import CampaignResult, run_campaign, run_layout_campaign
 from .hwm import industrial_bound
@@ -79,12 +79,19 @@ class ExperimentSettings:
     is 300 to keep a full benchmark sweep tractable on a laptop-class
     machine running a pure-Python simulator.  Set the environment variable
     ``REPRO_FULL=1`` (or ``REPRO_RUNS=<n>``) to run at paper scale.
+
+    ``jobs`` selects how many worker processes each campaign may use:
+    ``1`` (default) is fully serial, ``0`` means one worker per CPU, and any
+    other positive value is taken literally.  Campaigns are bit-exact for
+    every ``jobs`` value (see :mod:`repro.analysis.parallel`), so this knob
+    only affects wall-clock time.  It can also be set with ``REPRO_JOBS``.
     """
 
     runs: int = 300
     master_seed: int = 20160605
     scale: float = 1.0
     engine: str = "fast"
+    jobs: int = 1
     cutoff: float = 1e-15
     secondary_cutoff: float = 1e-12
     mbpta: MbptaConfig = field(default_factory=MbptaConfig)
@@ -92,7 +99,7 @@ class ExperimentSettings:
 
     @classmethod
     def from_env(cls, **overrides) -> "ExperimentSettings":
-        """Build settings from ``REPRO_RUNS`` / ``REPRO_FULL`` / ``REPRO_SCALE``."""
+        """Build settings from ``REPRO_RUNS`` / ``REPRO_FULL`` / ``REPRO_SCALE`` / ``REPRO_JOBS``."""
         settings = cls(**overrides)
         if os.environ.get("REPRO_FULL", "").strip() in ("1", "true", "yes"):
             settings = replace(settings, runs=1000)
@@ -102,6 +109,9 @@ class ExperimentSettings:
         scale = os.environ.get("REPRO_SCALE", "").strip()
         if scale:
             settings = replace(settings, scale=float(scale))
+        jobs = os.environ.get("REPRO_JOBS", "").strip()
+        if jobs:
+            settings = replace(settings, jobs=int(jobs))
         return settings
 
     def setup(self, name: str) -> HierarchyConfig:
@@ -133,6 +143,7 @@ def _benchmark_campaign(
         master_seed=settings.master_seed + seed_offset,
         setup=setup,
         engine=settings.engine,
+        jobs=settings.jobs,
     )
 
 
@@ -452,12 +463,13 @@ def experiment_fig4b(settings: Optional[ExperimentSettings] = None) -> Fig4bResu
         pwcet_rm = rm_result.pwcet_at(settings.cutoff)
 
         deterministic = run_layout_campaign(
-            lambda layout, name=benchmark: eembc_trace(name, layout=layout, scale=settings.scale),
+            EembcLayoutTraceBuilder(benchmark, scale=settings.scale),
             settings.setup("modulo"),
             runs=layout_runs,
             master_seed=settings.master_seed + 5000 + offset,
             setup="modulo",
             engine=settings.engine,
+            jobs=settings.jobs,
         )
         bound = industrial_bound(deterministic.execution_times, settings_margin(settings))
         rows[benchmark] = {
@@ -540,6 +552,7 @@ def experiment_fig5(
             master_seed=settings.master_seed,
             setup=setup,
             engine=settings.engine,
+            jobs=settings.jobs,
         )
         result = _mbpta_for(campaign, settings)
         samples[setup] = campaign.execution_times
@@ -615,6 +628,7 @@ def experiment_avg_performance(
             master_seed=settings.master_seed,
             setup="modulo",
             engine=settings.engine,
+            jobs=settings.jobs,
         )
         modulo_mean = modulo_campaign.mean
         rm_mean = rm_campaign.mean
@@ -675,6 +689,7 @@ def experiment_footprint_ablation(
                 master_seed=settings.master_seed,
                 setup=setup,
                 engine=settings.engine,
+                jobs=settings.jobs,
             )
             result = _mbpta_for(campaign, settings)
             row[f"{setup}_mean"] = campaign.mean
@@ -738,6 +753,7 @@ def experiment_replacement_ablation(
             master_seed=settings.master_seed,
             setup=label,
             engine=settings.engine,
+            jobs=settings.jobs,
         )
         result = _mbpta_for(campaign, settings)
         rows[label] = {

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
-from ..core.placement import make_placement
+from ..core.placement import make_placement, placement_is_randomized
 from ..core.prng import SplitMix64
 from .cache import WRITE_BACK, CacheConfig, derive_policy_seeds
 from .hierarchy import HierarchyConfig, derive_cache_seeds
@@ -41,7 +41,13 @@ FETCH_KIND = 0
 LOAD_KIND = 1
 STORE_KIND = 2
 
-__all__ = ["CompiledTrace", "FastRunResult", "FastHierarchySimulator", "simulate_trace"]
+__all__ = [
+    "CompiledTrace",
+    "FastRunResult",
+    "FastHierarchySimulator",
+    "simulate_trace",
+    "simulate_trace_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -121,7 +127,13 @@ class CompiledTrace:
 class _FastCache:
     """Flat-array mirror of :class:`~repro.cache.cache.SetAssociativeCache`."""
 
-    def __init__(self, config: CacheConfig, unique_lines: Sequence[int], seed: int) -> None:
+    def __init__(
+        self,
+        config: CacheConfig,
+        unique_lines: Sequence[int],
+        seed: int,
+        static_maps: Optional[Tuple[List[int], List[int]]] = None,
+    ) -> None:
         if config.replacement not in ("random", "lru"):
             raise ValueError(
                 f"fast engine supports 'random' and 'lru' replacement, "
@@ -134,14 +146,21 @@ class _FastCache:
         self.lru = config.replacement == "lru"
 
         placement_seed, replacement_seed = derive_policy_seeds(seed)
-        self.placement = make_placement(config.placement, config.geometry, seed=placement_seed)
         self.rng = SplitMix64(replacement_seed)
 
-        # Per-unique-line set index and tag, evaluated once per run.
-        set_index = self.placement.set_index
-        tag = self.placement.tag
-        self.line_sets: List[int] = [set_index(line) for line in unique_lines]
-        self.line_tags: List[int] = [tag(line) for line in unique_lines]
+        # Per-unique-line set index and tag, evaluated once per run — or
+        # shared across runs (``static_maps``) when the placement policy is
+        # deterministic, i.e. its mapping does not depend on the seed.
+        if static_maps is not None:
+            self.line_sets, self.line_tags = static_maps
+        else:
+            self.placement = make_placement(
+                config.placement, config.geometry, seed=placement_seed
+            )
+            set_index = self.placement.set_index
+            tag = self.placement.tag
+            self.line_sets: List[int] = [set_index(line) for line in unique_lines]
+            self.line_tags: List[int] = [tag(line) for line in unique_lines]
         self.line_addresses = list(unique_lines)
 
         # Contents: one list of tags per set (None = invalid), parallel dirty
@@ -194,6 +213,22 @@ class FastHierarchySimulator:
             raise ValueError("fast engine models the L2 as write-back only")
         self.config = config
         self.compiled = compiled
+        # Seed-invariant placement maps: deterministic policies (modulo, xor)
+        # map every run identically, so their per-unique-line set/tag tables
+        # are evaluated once here instead of once per run.  Randomised
+        # policies (hrp, rm) are redrawn from the per-run seed and stay on
+        # the per-run path.
+        self._static_maps: Dict[str, Tuple[List[int], List[int]]] = {}
+        for slot, cache_config in (("il1", config.il1), ("dl1", config.dl1), ("l2", config.l2)):
+            if cache_config is None:
+                continue
+            if placement_is_randomized(cache_config.placement):
+                continue
+            policy = make_placement(cache_config.placement, cache_config.geometry, seed=0)
+            self._static_maps[slot] = (
+                [policy.set_index(line) for line in compiled.unique_lines],
+                [policy.tag(line) for line in compiled.unique_lines],
+            )
 
     # The body below is one long function on purpose: it is the hot loop of
     # every experiment, and factoring it into per-level helpers costs ~2x in
@@ -208,11 +243,16 @@ class FastHierarchySimulator:
         memory_latency = timings.memory
         writeback_latency = timings.writeback
 
+        static_maps = self._static_maps
         il1_seed, dl1_seed, l2_seed = derive_cache_seeds(seed)
-        il1 = _FastCache(config.il1, compiled.unique_lines, il1_seed)
-        dl1 = _FastCache(config.dl1, compiled.unique_lines, dl1_seed)
+        il1 = _FastCache(
+            config.il1, compiled.unique_lines, il1_seed, static_maps.get("il1")
+        )
+        dl1 = _FastCache(
+            config.dl1, compiled.unique_lines, dl1_seed, static_maps.get("dl1")
+        )
         l2 = (
-            _FastCache(config.l2, compiled.unique_lines, l2_seed)
+            _FastCache(config.l2, compiled.unique_lines, l2_seed, static_maps.get("l2"))
             if config.l2 is not None
             else None
         )
@@ -327,6 +367,18 @@ class FastHierarchySimulator:
             l2_misses=l2.misses if l2 is not None else 0,
         )
 
+    def run_batch(self, seeds: Sequence[int]) -> List[FastRunResult]:
+        """Simulate one run per seed in ``seeds``, sharing the compiled trace.
+
+        The compiled trace and the seed-invariant placement maps of
+        deterministic caches are set up once for the whole batch, so calling
+        this with K seeds is cheaper than K :meth:`run` calls through
+        freshly-built simulators.  This is the unit of work the parallel
+        campaign executor (:mod:`repro.analysis.parallel`) ships to each
+        worker process.
+        """
+        return [self.run(seed) for seed in seeds]
+
     @staticmethod
     def _l2_write(l2: "_FastCache", uid: int) -> None:
         """Latency-free write-through update of the L2 (store-buffer model)."""
@@ -355,3 +407,14 @@ def simulate_trace(
     """Convenience wrapper: compile ``trace`` and simulate a single run."""
     compiled = CompiledTrace(trace, line_size=line_size or config.il1.line_size)
     return FastHierarchySimulator(config, compiled).run(seed)
+
+
+def simulate_trace_batch(
+    trace: "Trace",
+    config: HierarchyConfig,
+    seeds: Sequence[int],
+    line_size: int | None = None,
+) -> List[FastRunResult]:
+    """Compile ``trace`` once and simulate one run per seed in ``seeds``."""
+    compiled = CompiledTrace(trace, line_size=line_size or config.il1.line_size)
+    return FastHierarchySimulator(config, compiled).run_batch(seeds)

@@ -38,6 +38,8 @@ __all__ = [
     "HashRandomPlacement",
     "RandomModuloPlacement",
     "make_placement",
+    "placement_is_randomized",
+    "PLACEMENT_CLASSES",
     "PLACEMENT_NAMES",
 ]
 
@@ -327,8 +329,29 @@ class RandomModuloPlacement(PlacementPolicy):
         return self.network.apply(modulo_index, self._controls_for(upper))
 
 
+#: Policy classes by name — lets callers inspect class-level attributes such
+#: as ``randomized`` without instantiating a policy (hRP/RM construction
+#: draws hash matrices / permutation networks, which is wasted work for a
+#: mere capability check).
+PLACEMENT_CLASSES: Dict[str, type] = {
+    "modulo": ModuloPlacement,
+    "xor": DeterministicXorPlacement,
+    "hrp": HashRandomPlacement,
+    "rm": RandomModuloPlacement,
+}
+
 #: Names accepted by :func:`make_placement`.
-PLACEMENT_NAMES = ("modulo", "xor", "hrp", "rm")
+PLACEMENT_NAMES = tuple(PLACEMENT_CLASSES)
+
+
+def placement_is_randomized(name: str) -> bool:
+    """Whether the named policy redraws its mapping from the per-run seed."""
+    try:
+        return bool(PLACEMENT_CLASSES[name.lower()].randomized)
+    except KeyError as error:
+        raise ValueError(
+            f"unknown placement policy {name!r}; expected one of {PLACEMENT_NAMES}"
+        ) from error
 
 
 def make_placement(

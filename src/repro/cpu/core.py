@@ -20,13 +20,19 @@ latencies, so they produce identical cycle counts for identical seeds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..cache.fastsim import CompiledTrace, FastHierarchySimulator, FastRunResult
 from ..cache.hierarchy import CacheHierarchy, HierarchyConfig
 from .trace import AccessKind, Trace
 
-__all__ = ["ExecutionTimingModel", "TraceRunResult", "TraceDrivenCore"]
+__all__ = [
+    "ExecutionTimingModel",
+    "TraceRunResult",
+    "TraceDrivenCore",
+    "timing_overhead_cycles",
+    "wrap_fast_result",
+]
 
 
 @dataclass(frozen=True)
@@ -64,6 +70,33 @@ class TraceRunResult:
         }
 
 
+def timing_overhead_cycles(trace: Trace, timing: ExecutionTimingModel) -> int:
+    """Execute-stage cycles added on top of the memory latencies of ``trace``.
+
+    Shared by :class:`TraceDrivenCore` and the parallel campaign executor so
+    the two always add the same overhead to the raw fast-engine cycles.
+    """
+    counts = trace.counts()
+    return (
+        counts["fetches"] * timing.fetch_overhead
+        + (counts["loads"] + counts["stores"]) * timing.data_overhead
+    )
+
+
+def wrap_fast_result(
+    result: FastRunResult, overhead_cycles: int, accesses: int
+) -> TraceRunResult:
+    """Convert a raw fast-engine result into a :class:`TraceRunResult`."""
+    return TraceRunResult(
+        cycles=result.cycles + overhead_cycles,
+        memory_accesses=result.memory_accesses,
+        il1_misses=result.il1_misses,
+        dl1_misses=result.dl1_misses,
+        l2_misses=result.l2_misses,
+        accesses=accesses,
+    )
+
+
 class TraceDrivenCore:
     """Replays one trace on one hierarchy configuration, many times."""
 
@@ -78,11 +111,7 @@ class TraceDrivenCore:
         self.timing = timing
         self._compiled: Optional[CompiledTrace] = None
         self._fast: Optional[FastHierarchySimulator] = None
-        counts = trace.counts()
-        self._overhead_cycles = (
-            counts["fetches"] * timing.fetch_overhead
-            + (counts["loads"] + counts["stores"]) * timing.data_overhead
-        )
+        self._overhead_cycles = timing_overhead_cycles(trace, timing)
 
     # ------------------------------------------------------------------ fast
 
@@ -92,17 +121,17 @@ class TraceDrivenCore:
             self._fast = FastHierarchySimulator(self.config, self._compiled)
         return self._fast
 
+    def _wrap_fast(self, result: FastRunResult) -> TraceRunResult:
+        return wrap_fast_result(result, self._overhead_cycles, len(self.trace))
+
     def run_fast(self, seed: int) -> TraceRunResult:
         """Replay the trace with the fast engine under hierarchy seed ``seed``."""
-        result: FastRunResult = self._ensure_fast().run(seed)
-        return TraceRunResult(
-            cycles=result.cycles + self._overhead_cycles,
-            memory_accesses=result.memory_accesses,
-            il1_misses=result.il1_misses,
-            dl1_misses=result.dl1_misses,
-            l2_misses=result.l2_misses,
-            accesses=len(self.trace),
-        )
+        return self._wrap_fast(self._ensure_fast().run(seed))
+
+    def run_fast_batch(self, seeds: Sequence[int]) -> List[TraceRunResult]:
+        """Replay the trace once per seed, compiling/setting up only once."""
+        simulator = self._ensure_fast()
+        return [self._wrap_fast(result) for result in simulator.run_batch(seeds)]
 
     # ------------------------------------------------------------- reference
 
@@ -132,4 +161,12 @@ class TraceDrivenCore:
             return self.run_fast(seed)
         if engine == "reference":
             return self.run_reference(seed)
+        raise ValueError(f"unknown engine {engine!r}; expected 'fast' or 'reference'")
+
+    def run_batch(self, seeds: Sequence[int], engine: str = "fast") -> List[TraceRunResult]:
+        """Replay the trace once per seed with the selected engine."""
+        if engine == "fast":
+            return self.run_fast_batch(seeds)
+        if engine == "reference":
+            return [self.run_reference(seed) for seed in seeds]
         raise ValueError(f"unknown engine {engine!r}; expected 'fast' or 'reference'")

@@ -150,3 +150,40 @@ class TestFastEngineBehaviour:
         assert 0.0 <= result.il1_miss_rate <= 1.0
         assert 0.0 <= result.dl1_miss_rate <= 1.0
         assert 0.0 <= result.l2_miss_rate <= 1.0
+
+
+class TestBatchApi:
+    """run_batch must agree with per-seed run() calls on a fresh simulator."""
+
+    @pytest.mark.parametrize("placement", ["modulo", "xor", "hrp", "rm"])
+    def test_batch_matches_individual_runs(self, placement, small_kernel_trace):
+        config = tiny_config(l1_placement=placement)
+        compiled = CompiledTrace(small_kernel_trace)
+        seeds = [0, 1, 7, 12345]
+        batch = FastHierarchySimulator(config, compiled).run_batch(seeds)
+        individual = [
+            FastHierarchySimulator(config, compiled).run(seed) for seed in seeds
+        ]
+        assert batch == individual
+
+    def test_batch_matches_reference_engine(self, small_kernel_trace):
+        config = tiny_config(l1_placement="modulo", l1_replacement="lru")
+        core = TraceDrivenCore(config, small_kernel_trace)
+        seeds = [3, 5, 8]
+        batch = core.run_batch(seeds)
+        reference = [core.run_reference(seed) for seed in seeds]
+        assert [r.as_dict() for r in batch] == [r.as_dict() for r in reference]
+
+    def test_core_run_batch_rejects_unknown_engine(self, small_kernel_trace):
+        core = TraceDrivenCore(tiny_config(), small_kernel_trace)
+        with pytest.raises(ValueError, match="unknown engine"):
+            core.run_batch([1], engine="warp")
+
+    def test_simulate_trace_batch_wrapper(self, small_kernel_trace):
+        from repro.cache.fastsim import simulate_trace_batch
+
+        results = simulate_trace_batch(small_kernel_trace, tiny_config(), seeds=[4, 9])
+        assert results == [
+            simulate_trace(small_kernel_trace, tiny_config(), seed=4),
+            simulate_trace(small_kernel_trace, tiny_config(), seed=9),
+        ]
