@@ -7,14 +7,22 @@ artefacts, but regressions here multiply directly into the campaign times of
 every other bench.
 """
 
+import time
+
 import pytest
 
 from repro.cache.fastsim import CompiledTrace, FastHierarchySimulator
 from repro.core.placement import PlacementGeometry, make_placement
+from repro.engine import get_engine
 from repro.mbpta.evt import fit_gumbel
 from repro.mbpta.protocol import apply_mbpta
 from repro.platform.leon3 import platform_setup
 from repro.workloads.eembc import eembc_trace
+
+#: Batch sizes for the fast-vs-numpy engine comparison.  The numpy engine
+#: simulates all seeds of a batch as one array program, so its advantage
+#: grows with the batch: the acceptance bar is >= 3x at 64+ runs.
+ENGINE_BATCH_RUNS = (16, 64, 256)
 
 
 @pytest.fixture(scope="module")
@@ -41,6 +49,45 @@ def test_fast_engine_batch_deterministic_placement(benchmark, compiled_a2time):
     simulator = FastHierarchySimulator(platform_setup("modulo"), compiled_a2time)
     results = benchmark(simulator.run_batch, list(range(8)))
     assert len({result.cycles for result in results}) == 1  # seed-insensitive
+
+
+@pytest.mark.parametrize("engine_name", ["fast", "numpy"])
+@pytest.mark.parametrize("runs", ENGINE_BATCH_RUNS)
+def test_engine_batch_throughput(benchmark, compiled_a2time, engine_name, runs):
+    """Batch throughput of each registered batch engine at campaign sizes."""
+    simulator = get_engine(engine_name).simulator(platform_setup("rm"), compiled_a2time)
+    seeds = list(range(runs))
+    results = benchmark.pedantic(simulator.run_batch, args=(seeds,), rounds=1, iterations=1)
+    assert len(results) == runs
+
+
+def test_numpy_vs_fast_batch_speedup(compiled_a2time, capsys):
+    """Head-to-head: one timed batch per engine per size, plus bit-exactness.
+
+    Prints the measured speedup table (the EXPERIMENTS.md numbers come from
+    here).  On an otherwise idle machine the numpy engine clears 3x from 64
+    runs upward; no timing assertion is made because shared CI boxes are
+    noisy — bit-exactness, the part that must never regress, is asserted.
+    """
+    config = platform_setup("rm")
+    fast = get_engine("fast").simulator(config, compiled_a2time)
+    vectorized = get_engine("numpy").simulator(config, compiled_a2time)
+    with capsys.disabled():
+        print("\nfast vs numpy batch throughput (a2time, rm setup)")
+        print("runs | fast (s) | numpy (s) | speedup")
+        for runs in ENGINE_BATCH_RUNS:
+            seeds = list(range(runs))
+            start = time.perf_counter()
+            fast_results = fast.run_batch(seeds)
+            fast_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            numpy_results = vectorized.run_batch(seeds)
+            numpy_seconds = time.perf_counter() - start
+            assert numpy_results == fast_results  # bit-exact, always
+            print(
+                f"{runs:4d} | {fast_seconds:8.2f} | {numpy_seconds:9.2f} | "
+                f"{fast_seconds / numpy_seconds:6.2f}x"
+            )
 
 
 @pytest.mark.parametrize("policy", ["modulo", "xor", "hrp", "rm"])

@@ -3,14 +3,16 @@
 Campaign execution can be parallelised with ``--jobs N`` (or ``REPRO_JOBS``):
 results are bit-exact for any jobs value, only the wall-clock time changes.
 
-    python results/run_all.py              # serial
-    python results/run_all.py --jobs 0     # one worker per CPU
+    python results/run_all.py                  # serial, fast engine
+    python results/run_all.py --jobs 0         # one worker per CPU
+    python results/run_all.py --engine numpy   # vectorized batch engine
 """
 import argparse, json, time
 from dataclasses import replace
 from repro.analysis import (ExperimentSettings, experiment_table1, experiment_table2,
     experiment_fig1, experiment_fig4a, experiment_fig4b, experiment_fig5,
     experiment_avg_performance, experiment_footprint_ablation, experiment_replacement_ablation)
+from repro.engine import available_engines
 from repro.workloads.synthetic import SYNTHETIC_FOOTPRINTS
 
 parser = argparse.ArgumentParser(description=__doc__)
@@ -18,6 +20,8 @@ parser.add_argument("--runs", type=int, default=None,
                     help="measurement runs per campaign (default 300; overrides REPRO_RUNS/REPRO_FULL)")
 parser.add_argument("--jobs", type=int, default=None,
                     help="worker processes per campaign (1 = serial, 0 = all CPUs)")
+parser.add_argument("--engine", choices=available_engines(), default=None,
+                    help="simulation engine (all built-in engines are bit-exact)")
 args = parser.parse_args()
 
 # Env vars refine the 300-run default; explicit command-line flags win.
@@ -26,6 +30,8 @@ if args.runs is not None:
     s = replace(s, runs=args.runs)
 if args.jobs is not None:
     s = replace(s, jobs=args.jobs)
+if args.engine is not None:
+    s = replace(s, engine=args.engine)
 half = replace(s, runs=max(s.runs // 2, 50))
 
 out = {}

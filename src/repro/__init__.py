@@ -9,6 +9,8 @@ The package is organised in layers (see DESIGN.md):
   fast campaign engine.
 * :mod:`repro.cpu` — memory-access traces, a small ISA with assembler and
   interpreter, and the trace-driven timing core.
+* :mod:`repro.engine` — simulation engine registry and backends (``fast``,
+  ``reference``, and the vectorized ``numpy`` batch engine).
 * :mod:`repro.workloads` — EEMBC Automotive stand-ins and the synthetic
   vector kernel.
 * :mod:`repro.mbpta` — EVT/Gumbel fitting, i.i.d. admission tests and the
@@ -59,6 +61,7 @@ from .core import (
     make_placement,
 )
 from .cpu import Trace, TraceDrivenCore, assemble, run_program
+from .engine import available_engines, engine_capabilities, get_engine, register_engine
 from .mbpta import MbptaConfig, MbptaResult, apply_mbpta, fit_gumbel
 from .platform import Leon3Parameters, leon3_hierarchy, platform_setup
 from .workloads import (
@@ -104,6 +107,11 @@ __all__ = [
     "TraceDrivenCore",
     "assemble",
     "run_program",
+    # engine
+    "available_engines",
+    "engine_capabilities",
+    "get_engine",
+    "register_engine",
     # mbpta
     "MbptaConfig",
     "MbptaResult",

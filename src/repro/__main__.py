@@ -6,12 +6,20 @@ Usage::
     python -m repro run table1
     python -m repro run fig4a --runs 200
     python -m repro run all --runs 100 --scale 0.5
-    python -m repro run all --jobs 4          # parallel campaigns, bit-exact
-    python -m repro run table2 --jobs 0       # one worker per CPU
+    python -m repro run all --jobs 4            # parallel campaigns, bit-exact
+    python -m repro run table2 --jobs 0         # one worker per CPU
+    python -m repro run fig5 --engine numpy     # vectorized batch engine
+    python -m repro run fig4a --format json     # machine-readable output
+    python -m repro run all --format csv > results.csv
 
 Each experiment id corresponds to one table/figure of the paper (see
-DESIGN.md's per-experiment index); the output is the same plain-text table
-the matching benchmark prints.
+DESIGN.md's per-experiment index).  ``--engine`` accepts any registered
+simulation engine (:func:`repro.engine.available_engines`); all built-in
+engines are bit-exact, so the flag only changes wall-clock time.
+``--format`` selects the output rendering: ``text`` (default, the same
+plain-text tables the benches print), ``json`` (one object per experiment)
+or ``csv`` (``experiment,key,value`` rows) — with non-text formats the
+progress chatter moves to stderr so stdout stays machine-readable.
 """
 
 from __future__ import annotations
@@ -20,7 +28,7 @@ import argparse
 import sys
 import time
 from dataclasses import replace
-from typing import Callable, Dict
+from typing import Dict
 
 from .analysis.experiments import (
     ExperimentSettings,
@@ -34,6 +42,8 @@ from .analysis.experiments import (
     experiment_table1,
     experiment_table2,
 )
+from .analysis.report import CSV_HEADER, RESULT_FORMATS, render_result
+from .engine import available_engines, get_engine
 
 #: Experiment id -> (description, driver taking ExperimentSettings).
 EXPERIMENTS: Dict[str, tuple] = {
@@ -73,9 +83,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--engine",
-        choices=("fast", "reference"),
+        choices=available_engines(),
         default=None,
-        help="simulation engine (the reference engine is serial-only)",
+        help="simulation engine (all built-in engines are bit-exact; "
+        "'numpy' vectorizes whole seed batches)",
+    )
+    run.add_argument(
+        "--format",
+        choices=RESULT_FORMATS,
+        default="text",
+        dest="output_format",
+        help="output format: plain-text tables (default), JSON objects, or "
+        "experiment,key,value CSV rows",
     )
     return parser
 
@@ -95,13 +114,14 @@ def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
     return settings
 
 
-def _run_one(identifier: str, settings: ExperimentSettings) -> None:
+def _run_one(identifier: str, settings: ExperimentSettings, output_format: str) -> None:
     description, driver = EXPERIMENTS[identifier]
-    print(f"== {identifier}: {description}")
+    chatter = sys.stdout if output_format == "text" else sys.stderr
+    print(f"== {identifier}: {description}", file=chatter)
     start = time.time()
     result = driver(settings)
-    print(result.format())
-    print(f"-- {identifier} finished in {time.time() - start:.1f}s\n")
+    print(render_result(identifier, result, output_format))
+    print(f"-- {identifier} finished in {time.time() - start:.1f}s\n", file=chatter)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -117,11 +137,15 @@ def main(argv: list[str] | None = None) -> int:
     # a bad value is rejected with a clean message wherever it came from.
     if settings.jobs < 0:
         parser.error(f"jobs must be >= 0 (0 = one worker per CPU), got {settings.jobs}")
-    if settings.engine == "reference" and settings.jobs != 1:
-        parser.error("the reference engine is serial-only; use it with --jobs 1")
+    try:
+        get_engine(settings.engine)  # catches bad REPRO_ENGINE values too
+    except ValueError as error:
+        parser.error(str(error))
     targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.output_format == "csv":
+        print(CSV_HEADER)
     for identifier in targets:
-        _run_one(identifier, settings)
+        _run_one(identifier, settings, args.output_format)
     return 0
 
 

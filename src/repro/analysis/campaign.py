@@ -17,6 +17,7 @@ from ..cache.hierarchy import HierarchyConfig
 from ..core.prng import derive_run_seeds
 from ..cpu.core import ExecutionTimingModel, TraceDrivenCore, TraceRunResult
 from ..cpu.trace import Trace
+from ..engine import get_engine
 from ..workloads.base import MemoryLayout, random_layouts
 
 __all__ = ["CampaignResult", "run_campaign", "run_layout_campaign"]
@@ -87,15 +88,19 @@ def run_campaign(
     campaign (and everything downstream: i.i.d. tests, pWCET estimates) is
     exactly reproducible.
 
-    ``jobs`` selects the execution engine: ``1`` (the default) runs every
-    seed serially in-process, while ``jobs > 1`` (or ``0`` for one worker
-    per CPU) distributes seed chunks over a process pool — see
+    ``engine`` names a registered simulation backend (see
+    :func:`repro.engine.available_engines`); every bit-exact engine returns
+    identical campaigns, so the knob only trades wall-clock time.  ``jobs``
+    selects the execution mode: ``1`` (the default) runs every seed serially
+    in-process, while ``jobs > 1`` (or ``0`` for one worker per CPU)
+    distributes seed chunks over a process pool — see
     :mod:`repro.analysis.parallel`.  Both paths are bit-exact: the parallel
     executor reassembles results in seed order, so the returned campaign is
-    identical for any ``jobs`` value.
+    identical for any ``jobs`` value, with any engine.
     """
     if runs < 1:
         raise ValueError(f"runs must be >= 1, got {runs}")
+    get_engine(engine)  # reject unknown engines before any simulation work
     from .parallel import resolve_jobs, run_campaign_parallel
 
     effective_jobs = min(resolve_jobs(jobs), runs)
@@ -156,6 +161,7 @@ def run_layout_campaign(
         if runs < 1:
             raise ValueError(f"runs must be >= 1, got {runs}")
         layouts = random_layouts(runs, master_seed=master_seed)
+    get_engine(engine)  # reject unknown engines before any simulation work
     from .parallel import resolve_jobs, run_layout_campaign_parallel
 
     effective_jobs = min(resolve_jobs(jobs), len(layouts))

@@ -80,11 +80,14 @@ class ExperimentSettings:
     machine running a pure-Python simulator.  Set the environment variable
     ``REPRO_FULL=1`` (or ``REPRO_RUNS=<n>``) to run at paper scale.
 
-    ``jobs`` selects how many worker processes each campaign may use:
-    ``1`` (default) is fully serial, ``0`` means one worker per CPU, and any
-    other positive value is taken literally.  Campaigns are bit-exact for
-    every ``jobs`` value (see :mod:`repro.analysis.parallel`), so this knob
-    only affects wall-clock time.  It can also be set with ``REPRO_JOBS``.
+    ``engine`` names a registered simulation backend (see
+    :func:`repro.engine.available_engines`; ``REPRO_ENGINE`` overrides it
+    from the environment).  ``jobs`` selects how many worker processes each
+    campaign may use: ``1`` (default) is fully serial, ``0`` means one
+    worker per CPU, and any other positive value is taken literally.
+    Campaigns are bit-exact for every ``jobs`` value and every bit-exact
+    engine (see :mod:`repro.analysis.parallel`), so both knobs only affect
+    wall-clock time.  ``jobs`` can also be set with ``REPRO_JOBS``.
     """
 
     runs: int = 300
@@ -99,7 +102,8 @@ class ExperimentSettings:
 
     @classmethod
     def from_env(cls, **overrides) -> "ExperimentSettings":
-        """Build settings from ``REPRO_RUNS`` / ``REPRO_FULL`` / ``REPRO_SCALE`` / ``REPRO_JOBS``."""
+        """Build settings from ``REPRO_RUNS`` / ``REPRO_FULL`` / ``REPRO_SCALE`` /
+        ``REPRO_JOBS`` / ``REPRO_ENGINE``."""
         settings = cls(**overrides)
         if os.environ.get("REPRO_FULL", "").strip() in ("1", "true", "yes"):
             settings = replace(settings, runs=1000)
@@ -112,6 +116,9 @@ class ExperimentSettings:
         jobs = os.environ.get("REPRO_JOBS", "").strip()
         if jobs:
             settings = replace(settings, jobs=int(jobs))
+        engine = os.environ.get("REPRO_ENGINE", "").strip()
+        if engine:
+            settings = replace(settings, engine=engine)
         return settings
 
     def setup(self, name: str) -> HierarchyConfig:

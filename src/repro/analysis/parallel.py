@@ -9,6 +9,20 @@ chunks, shipping the pickled :class:`~repro.cache.fastsim.CompiledTrace` and
 exactly once, simulating one chunk per task, and reassembling the per-run
 results in seed order.
 
+Engine selection happens **by registry name in the parent**
+(:func:`repro.engine.get_engine`, so unknown names fail fast with the
+registered list); the *resolved* :class:`~repro.engine.Engine` object is
+then shipped to each worker alongside the picklable inputs, and the worker
+rebuilds that engine's simulator locally (every built-in engine carries
+``requires_pickle=True``, i.e. it is reconstructible from exactly those
+inputs).  Shipping the object rather than the name means user-registered
+engines work under spawn-based start methods too, where workers re-import
+:mod:`repro.engine` and would only see the built-ins; the engine object
+itself must be picklable (a module-level class — true for all built-ins).
+Any registered engine therefore composes with ``jobs=N`` — including the
+vectorized numpy engine, where each worker simulates its whole seed chunk
+as one array program.
+
 Because each worker simulates exactly the run the serial loop would have
 simulated for the same seed — fresh caches, fresh placement/replacement
 streams, no shared mutable state — the reassembled campaign is **bit-exact**
@@ -31,7 +45,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
-from ..cache.fastsim import CompiledTrace, FastHierarchySimulator, FastRunResult
+from ..cache.fastsim import CompiledTrace, FastRunResult
 from ..cache.hierarchy import HierarchyConfig
 from ..core.prng import derive_run_seeds
 from ..cpu.core import (
@@ -42,6 +56,7 @@ from ..cpu.core import (
     wrap_fast_result,
 )
 from ..cpu.trace import Trace
+from ..engine import Engine, EngineSimulator, get_engine
 from ..workloads.base import MemoryLayout
 from .campaign import CampaignResult
 
@@ -101,13 +116,15 @@ def partition_chunks(
 # just (start_index, chunk) pairs.
 # ---------------------------------------------------------------------------
 
-_worker_simulator: Optional[FastHierarchySimulator] = None
-_worker_layout_state: Optional[Tuple[Callable, HierarchyConfig, ExecutionTimingModel, str]] = None
+_worker_simulator: Optional[EngineSimulator] = None
+_worker_layout_state: Optional[Tuple[Callable, HierarchyConfig, ExecutionTimingModel, Engine]] = None
 
 
-def _init_seed_worker(config: HierarchyConfig, compiled: CompiledTrace) -> None:
+def _init_seed_worker(
+    config: HierarchyConfig, compiled: CompiledTrace, engine: Engine
+) -> None:
     global _worker_simulator
-    _worker_simulator = FastHierarchySimulator(config, compiled)
+    _worker_simulator = engine.simulator(config, compiled)
 
 
 def _run_seed_chunk(chunk: Tuple[int, List[int]]) -> Tuple[int, List[FastRunResult]]:
@@ -120,7 +137,7 @@ def _init_layout_worker(
     trace_builder: Callable[[MemoryLayout], Trace],
     config: HierarchyConfig,
     timing: ExecutionTimingModel,
-    engine: str,
+    engine: Engine,
 ) -> None:
     global _worker_layout_state
     _worker_layout_state = (trace_builder, config, timing, engine)
@@ -167,11 +184,9 @@ def run_campaign_parallel(
     """
     if runs < 1:
         raise ValueError(f"runs must be >= 1, got {runs}")
-    if engine != "fast":
-        raise ValueError(
-            f"parallel campaigns require engine='fast', got {engine!r}; "
-            "run the reference engine serially (jobs=1)"
-        )
+    # Resolve in the parent (unknown names fail with the registry's listing);
+    # the resolved engine object is what gets shipped to the workers.
+    backend = get_engine(engine)
     jobs = min(resolve_jobs(jobs), runs)
     seeds = derive_run_seeds(master_seed, runs)
     overhead_cycles = timing_overhead_cycles(trace, timing)
@@ -181,7 +196,9 @@ def run_campaign_parallel(
     chunks = partition_chunks(seeds, jobs, chunk_size)
     fast_results: List[Optional[FastRunResult]] = [None] * runs
     with ProcessPoolExecutor(
-        max_workers=jobs, initializer=_init_seed_worker, initargs=(config, compiled)
+        max_workers=jobs,
+        initializer=_init_seed_worker,
+        initargs=(config, compiled, backend),
     ) as pool:
         for start, results in pool.map(_run_seed_chunk, chunks):
             fast_results[start : start + len(results)] = results
@@ -222,6 +239,9 @@ def run_layout_campaign_parallel(
     """
     if not layouts:
         raise ValueError("layout campaign needs at least one memory layout")
+    # Resolve in the parent (unknown names fail with the registry's listing);
+    # the resolved engine object is what gets shipped to the workers.
+    backend = get_engine(engine)
     jobs = min(resolve_jobs(jobs), len(layouts))
     chunks = partition_chunks(list(layouts), jobs, chunk_size)
     execution_times: List[Optional[int]] = [None] * len(layouts)
@@ -229,7 +249,7 @@ def run_layout_campaign_parallel(
     with ProcessPoolExecutor(
         max_workers=jobs,
         initializer=_init_layout_worker,
-        initargs=(trace_builder, config, timing, engine),
+        initargs=(trace_builder, config, timing, backend),
     ) as pool:
         for start, chunk_name, cycles in pool.map(_run_layout_chunk, chunks):
             execution_times[start : start + len(cycles)] = cycles

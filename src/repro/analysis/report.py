@@ -1,16 +1,43 @@
-"""Plain-text reporting helpers.
+"""Reporting helpers: plain-text rendering plus machine-readable formats.
 
 The benchmark harnesses print the reproduced tables and figure series to
 stdout so that a bench run leaves a readable record next to the
 pytest-benchmark timings.  These helpers render aligned ASCII tables and
 simple textual histograms without any plotting dependency.
+
+:func:`render_result` is the single formatter every consumer of experiment
+results routes through (``python -m repro run --format {text,json,csv}``,
+``results/run_all.py``): ``text`` delegates to the result object's
+``format()`` method, ``json`` emits one JSON object per experiment, and
+``csv`` flattens the result into ``experiment,key,value`` rows (dotted key
+paths), so downstream tooling never scrapes the ASCII tables.
 """
 
 from __future__ import annotations
 
+import csv
+import dataclasses
+import io
+import json
 from typing import Dict, Iterable, List, Sequence, Tuple
 
-__all__ = ["format_table", "format_histogram", "format_ccdf", "format_ratio"]
+__all__ = [
+    "format_table",
+    "format_histogram",
+    "format_ccdf",
+    "format_ratio",
+    "RESULT_FORMATS",
+    "CSV_HEADER",
+    "result_to_data",
+    "flatten_result",
+    "render_result",
+]
+
+#: Formats accepted by :func:`render_result` (and the CLI's ``--format``).
+RESULT_FORMATS = ("text", "json", "csv")
+
+#: Column names of the rows :func:`render_result` emits for ``csv``.
+CSV_HEADER = "experiment,key,value"
 
 
 def _stringify(value: object) -> str:
@@ -83,3 +110,66 @@ def format_ccdf(points: Sequence[Tuple[float, float]], title: str = "") -> str:
 def format_ratio(value: float) -> str:
     """Format a ratio as a percentage difference (e.g. 0.57 -> '-43.0%')."""
     return f"{(value - 1.0) * 100.0:+.1f}%"
+
+
+# ---------------------------------------------------------------------------
+# Machine-readable experiment output
+# ---------------------------------------------------------------------------
+
+def result_to_data(result: object) -> object:
+    """Convert an experiment result object into plain JSON-able data.
+
+    Result objects are dataclasses of dicts/lists/scalars; tuples become
+    lists and non-string dict keys become strings (JSON object keys), so the
+    same data structure round-trips through both ``json`` and ``csv``.
+    """
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        return result_to_data(dataclasses.asdict(result))
+    if isinstance(result, dict):
+        return {str(key): result_to_data(value) for key, value in result.items()}
+    if isinstance(result, (list, tuple)):
+        return [result_to_data(value) for value in result]
+    if isinstance(result, (str, int, float, bool)) or result is None:
+        return result
+    return str(result)
+
+
+def flatten_result(data: object, prefix: str = "") -> List[Tuple[str, object]]:
+    """Flatten nested result data into ``(dotted.key.path, scalar)`` pairs."""
+    if isinstance(data, dict):
+        pairs: List[Tuple[str, object]] = []
+        for key, value in data.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            pairs.extend(flatten_result(value, path))
+        return pairs
+    if isinstance(data, (list, tuple)):
+        pairs = []
+        for position, value in enumerate(data):
+            path = f"{prefix}.{position}" if prefix else str(position)
+            pairs.extend(flatten_result(value, path))
+        return pairs
+    return [(prefix, data)]
+
+
+def render_result(identifier: str, result: object, fmt: str = "text") -> str:
+    """Render one experiment result in the requested format.
+
+    ``text`` uses the result's paper-style ``format()`` rendering; ``json``
+    returns one self-identifying JSON object; ``csv`` returns
+    ``experiment,key,value`` rows (without the :data:`CSV_HEADER` line, so
+    multi-experiment runs can share a single header).
+    """
+    if fmt == "text":
+        return result.format()  # type: ignore[attr-defined]
+    if fmt == "json":
+        return json.dumps(
+            {"experiment": identifier, "result": result_to_data(result)},
+            sort_keys=True,
+        )
+    if fmt == "csv":
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        for key, value in flatten_result(result_to_data(result)):
+            writer.writerow([identifier, key, value])
+        return buffer.getvalue().rstrip("\n")
+    raise ValueError(f"unknown format {fmt!r}; expected one of {RESULT_FORMATS}")

@@ -4,7 +4,10 @@ MBPTA needs hundreds to thousands of end-to-end runs per benchmark and
 configuration.  The object-oriented reference model in
 :mod:`repro.cache.cache` is convenient to inspect but too slow for that, so
 this module re-implements the exact same semantics with flat Python lists
-and no per-access object allocation.
+and no per-access object allocation.  It is registered as the ``"fast"``
+backend of the engine registry (:mod:`repro.engine`); the vectorized
+``"numpy"`` backend (:mod:`repro.engine.numpy_engine`) builds on the same
+:class:`CompiledTrace` representation and is kept bit-exact with it.
 
 The two engines are kept bit-exact with each other: they share the seed
 derivation helpers (:func:`repro.cache.cache.derive_policy_seeds`,

@@ -152,6 +152,39 @@ class PlacementPolicy(ABC):
         index = self.set_index
         return [index(address) for address in addresses]
 
+    # ------------------------------------------------------------ numpy hooks
+    #
+    # The numpy campaign engine (repro.engine.numpy_engine) evaluates one
+    # placement map per (seed, cache) pair; these hooks let each policy do
+    # that as array arithmetic instead of a Python loop per line.  They are
+    # bit-exact with set_index()/tag() — the engine equivalence tests replay
+    # both paths.  numpy is imported lazily so repro.core stays importable
+    # without it.
+
+    def _line_addresses_array(self, addresses):
+        """Vector counterpart of ``geometry.line_address`` (uint64 in/out)."""
+        geometry = self.geometry
+        return (addresses & mask(geometry.address_bits)) >> geometry.offset_bits
+
+    def set_index_array(self, addresses):
+        """Map a ``numpy`` uint64 array of byte addresses to set indices.
+
+        The base implementation loops over :meth:`set_index`; policies with a
+        closed-form mapping override it with genuine array arithmetic.
+        Returns an int64 array of the same length.
+        """
+        import numpy as np
+
+        index = self.set_index
+        return np.array([index(int(address)) for address in addresses], dtype=np.int64)
+
+    def tag_array(self, addresses):
+        """Vector counterpart of :meth:`tag` (uint64 in, int64 out)."""
+        lines = self._line_addresses_array(addresses)
+        if self.needs_index_in_tag:
+            return lines.astype("int64")
+        return (lines >> self.geometry.index_bits).astype("int64")
+
     def describe(self) -> Dict[str, object]:
         """Structured description used by reports and experiment logs."""
         return {
@@ -163,6 +196,34 @@ class PlacementPolicy(ABC):
         }
 
 
+def _fold_xor_array(values, in_width: int, out_width: int):
+    """Vector counterpart of :func:`repro.core.bits.fold_xor`.
+
+    ``values`` is an unsigned integer array; callers must guarantee
+    ``in_width <= 64`` and ``0 < out_width < 64`` (the scalar helper has no
+    such limit, so wider geometries fall back to the per-element path).
+    """
+    value = values & mask(in_width)
+    folded = values & 0
+    for _ in range(0, max(in_width, 1), out_width):
+        folded = folded ^ (value & mask(out_width))
+        value = value >> out_width
+    return folded
+
+
+def _popcount64_array(values):
+    """Per-element popcount of a uint64 array (SWAR fallback for numpy < 2)."""
+    import numpy as np
+
+    bitwise_count = getattr(np, "bitwise_count", None)
+    if bitwise_count is not None:
+        return bitwise_count(values).astype(np.uint64)
+    x = values - ((values >> 1) & 0x5555555555555555)
+    x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+    x = (x + (x >> 4)) & 0x0F0F0F0F0F0F0F0F
+    return (x * 0x0101010101010101) >> 56
+
+
 class ModuloPlacement(PlacementPolicy):
     """Conventional modulo placement: index = low-order line-address bits."""
 
@@ -171,6 +232,10 @@ class ModuloPlacement(PlacementPolicy):
 
     def set_index(self, address: int) -> int:
         return self.geometry.modulo_index(address)
+
+    def set_index_array(self, addresses):
+        lines = self._line_addresses_array(addresses)
+        return (lines & mask(self.geometry.index_bits)).astype("int64")
 
 
 class DeterministicXorPlacement(PlacementPolicy):
@@ -191,6 +256,17 @@ class DeterministicXorPlacement(PlacementPolicy):
         return geometry.modulo_index(address) ^ fold_xor(
             upper, geometry.upper_bits, geometry.index_bits
         )
+
+    def set_index_array(self, addresses):
+        geometry = self.geometry
+        if geometry.upper_bits > 64 or not 0 < geometry.index_bits < 64:
+            return super().set_index_array(addresses)
+        lines = self._line_addresses_array(addresses)
+        modulo = lines & mask(geometry.index_bits)
+        folded = _fold_xor_array(
+            lines >> geometry.index_bits, geometry.upper_bits, geometry.index_bits
+        )
+        return (modulo ^ folded).astype("int64")
 
 
 class HashRandomPlacement(PlacementPolicy):
@@ -257,6 +333,17 @@ class HashRandomPlacement(PlacementPolicy):
         for bit, row in enumerate(self._row_masks):
             index ^= ((row & line).bit_count() & 1) << bit
         return index
+
+    def set_index_array(self, addresses):
+        import numpy as np
+
+        if self._hash_width > 64:
+            return super().set_index_array(addresses)
+        lines = self._line_addresses_array(addresses)
+        index = np.full(lines.shape, self._offset, dtype=np.uint64)
+        for bit, row in enumerate(self._row_masks):
+            index ^= (_popcount64_array(lines & row) & 1) << bit
+        return index.astype(np.int64)
 
 
 class RandomModuloPlacement(PlacementPolicy):
@@ -327,6 +414,29 @@ class RandomModuloPlacement(PlacementPolicy):
         modulo_index = geometry.modulo_index(address)
         upper = geometry.line_address(address) >> geometry.index_bits
         return self.network.apply(modulo_index, self._controls_for(upper))
+
+    def set_index_array(self, addresses):
+        import numpy as np
+
+        geometry = self.geometry
+        n_controls = self.network.num_switches
+        if not 0 < n_controls < 64 or geometry.upper_bits > 64:
+            return super().set_index_array(addresses)
+        lines = self._line_addresses_array(addresses)
+        uppers = lines >> geometry.index_bits
+        controls = _fold_xor_array(uppers, geometry.upper_bits, n_controls)
+        spread = geometry.upper_bits
+        if spread < n_controls:
+            controls = controls | ((self._seed_upper << spread) & mask(n_controls))
+        controls = (controls ^ self._seed_controls) & mask(n_controls)
+        # Route every modulo index through the switch column sequence; each
+        # switch conditionally swaps two bit positions of the index.
+        value = (lines & mask(geometry.index_bits)).astype(np.uint64)
+        for position, (wire_a, wire_b) in enumerate(self.network.switches):
+            swap = (controls >> position) & 1
+            moved = (((value >> wire_a) ^ (value >> wire_b)) & 1) & swap
+            value ^= (moved << wire_a) | (moved << wire_b)
+        return value.astype(np.int64)
 
 
 #: Policy classes by name — lets callers inspect class-level attributes such

@@ -24,8 +24,19 @@ __all__ = [
     "GaloisLfsr",
     "MultiLfsrPrng",
     "SplitMix64",
+    "SPLITMIX64_GAMMA",
+    "SPLITMIX64_MIX1",
+    "SPLITMIX64_MIX2",
+    "splitmix64_next_array",
     "derive_run_seeds",
 ]
+
+#: SplitMix64 constants (Steele et al.), shared between the scalar
+#: :class:`SplitMix64` and the vectorized stepper used by the numpy engine
+#: so that both produce bit-identical streams.
+SPLITMIX64_GAMMA = 0x9E3779B97F4A7C15
+SPLITMIX64_MIX1 = 0xBF58476D1CE4E5B9
+SPLITMIX64_MIX2 = 0x94D049BB133111EB
 
 
 #: Feedback polynomials (taps given as a bit mask, LSB = x^1 term) for
@@ -160,10 +171,10 @@ class SplitMix64:
         self.state &= mask(64)
 
     def next_uint64(self) -> int:
-        self.state = (self.state + 0x9E3779B97F4A7C15) & mask(64)
+        self.state = (self.state + SPLITMIX64_GAMMA) & mask(64)
         z = self.state
-        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & mask(64)
-        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & mask(64)
+        z = ((z ^ (z >> 30)) * SPLITMIX64_MIX1) & mask(64)
+        z = ((z ^ (z >> 27)) * SPLITMIX64_MIX2) & mask(64)
         return (z ^ (z >> 31)) & mask(64)
 
     def next_uint32(self) -> int:
@@ -180,6 +191,23 @@ class SplitMix64:
             value = self.next_uint64()
             if value < limit:
                 return value % bound
+
+
+def splitmix64_next_array(states):
+    """Advance an array of SplitMix64 states in place; return the outputs.
+
+    ``states`` must be a mutable ``uint64`` array with modular (wrapping)
+    arithmetic — in practice a ``numpy`` array.  Element ``i`` of the result
+    is exactly what ``SplitMix64(previous_state_i).next_uint64()`` would have
+    produced, so vectorized consumers (the numpy campaign engine) stay
+    bit-exact with the scalar generator.  The helper is written against the
+    array protocol only (wrapping ``+``, ``*``, ``^``, ``>>``), keeping
+    :mod:`repro.core` importable without numpy.
+    """
+    states += SPLITMIX64_GAMMA
+    z = (states ^ (states >> 30)) * SPLITMIX64_MIX1
+    z = (z ^ (z >> 27)) * SPLITMIX64_MIX2
+    return z ^ (z >> 31)
 
 
 def derive_run_seeds(master_seed: int, count: int) -> List[int]:

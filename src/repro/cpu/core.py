@@ -6,25 +6,28 @@ a workload is available as a memory-access :class:`~repro.cpu.trace.Trace`
 interpreter), this core replays it against a cache hierarchy and produces
 the execution time in cycles.
 
-Two back-ends are available:
-
-* :meth:`TraceDrivenCore.run_reference` drives the object-oriented
-  :class:`~repro.cache.hierarchy.CacheHierarchy` (slow, inspectable);
-* :meth:`TraceDrivenCore.run_fast` uses the flat-array engine of
-  :mod:`repro.cache.fastsim` (what the measurement campaigns use).
-
-Both add the same per-instruction execute cost on top of the memory
-latencies, so they produce identical cycle counts for identical seeds.
+Back-ends are selected by registry name through :mod:`repro.engine`
+(``"fast"``, ``"reference"``, ``"numpy"``, plus anything registered later);
+:meth:`TraceDrivenCore.run` and :meth:`TraceDrivenCore.run_batch` resolve
+the name, build (and cache) the engine's simulator for this (config, trace)
+pair, and add the same per-instruction execute cost on top of the raw
+memory latencies — so all engines produce identical cycle counts for
+identical seeds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence, Union
 
-from ..cache.fastsim import CompiledTrace, FastHierarchySimulator, FastRunResult
-from ..cache.hierarchy import CacheHierarchy, HierarchyConfig
-from .trace import AccessKind, Trace
+from ..cache.fastsim import CompiledTrace, FastRunResult
+from ..cache.hierarchy import HierarchyConfig
+from ..engine import Engine, EngineSimulator, get_engine
+from .trace import Trace
+
+#: Engine selector: a registry name, or an already-resolved Engine (used by
+#: the parallel executor, which resolves names in the parent process).
+EngineLike = Union[str, Engine]
 
 __all__ = [
     "ExecutionTimingModel",
@@ -109,64 +112,49 @@ class TraceDrivenCore:
         self.config = config
         self.trace = trace
         self.timing = timing
-        self._compiled: Optional[CompiledTrace] = None
-        self._fast: Optional[FastHierarchySimulator] = None
+        self._compiled: CompiledTrace | None = None
+        self._simulators: Dict[str, EngineSimulator] = {}
         self._overhead_cycles = timing_overhead_cycles(trace, timing)
 
-    # ------------------------------------------------------------------ fast
+    # --------------------------------------------------------------- engines
 
-    def _ensure_fast(self) -> FastHierarchySimulator:
-        if self._fast is None:
-            self._compiled = CompiledTrace(self.trace, line_size=self.config.il1.line_size)
-            self._fast = FastHierarchySimulator(self.config, self._compiled)
-        return self._fast
+    def _simulator(self, engine: EngineLike) -> EngineSimulator:
+        """The (cached) simulator of the selected engine for this core's trace."""
+        backend = get_engine(engine) if isinstance(engine, str) else engine
+        simulator = self._simulators.get(backend.name)
+        if simulator is None:
+            if self._compiled is None:
+                self._compiled = CompiledTrace(
+                    self.trace, line_size=self.config.il1.line_size
+                )
+            simulator = backend.simulator(self.config, self._compiled)
+            self._simulators[backend.name] = simulator
+        return simulator
 
-    def _wrap_fast(self, result: FastRunResult) -> TraceRunResult:
+    def _wrap(self, result: FastRunResult) -> TraceRunResult:
         return wrap_fast_result(result, self._overhead_cycles, len(self.trace))
 
+    def run(self, seed: int, engine: EngineLike = "fast") -> TraceRunResult:
+        """Replay the trace with the selected engine under hierarchy seed ``seed``."""
+        return self._wrap(self._simulator(engine).run(seed))
+
+    def run_batch(
+        self, seeds: Sequence[int], engine: EngineLike = "fast"
+    ) -> List[TraceRunResult]:
+        """Replay the trace once per seed, setting the engine up only once."""
+        simulator = self._simulator(engine)
+        return [self._wrap(result) for result in simulator.run_batch(seeds)]
+
+    # Convenience wrappers kept for the established call sites and tests.
+
     def run_fast(self, seed: int) -> TraceRunResult:
-        """Replay the trace with the fast engine under hierarchy seed ``seed``."""
-        return self._wrap_fast(self._ensure_fast().run(seed))
+        """Replay the trace with the fast engine (shorthand for ``run``)."""
+        return self.run(seed, engine="fast")
 
     def run_fast_batch(self, seeds: Sequence[int]) -> List[TraceRunResult]:
-        """Replay the trace once per seed, compiling/setting up only once."""
-        simulator = self._ensure_fast()
-        return [self._wrap_fast(result) for result in simulator.run_batch(seeds)]
-
-    # ------------------------------------------------------------- reference
+        """Batch shorthand for the fast engine."""
+        return self.run_batch(seeds, engine="fast")
 
     def run_reference(self, seed: int) -> TraceRunResult:
         """Replay the trace with the reference hierarchy model."""
-        hierarchy = CacheHierarchy(self.config, seed=seed)
-        for kind, address in zip(self.trace.kinds, self.trace.addresses):
-            if kind == int(AccessKind.FETCH):
-                hierarchy.fetch(address)
-            elif kind == int(AccessKind.LOAD):
-                hierarchy.load(address)
-            else:
-                hierarchy.store(address)
-        stats = hierarchy.stats()
-        return TraceRunResult(
-            cycles=hierarchy.cycles + self._overhead_cycles,
-            memory_accesses=hierarchy.memory_accesses,
-            il1_misses=int(stats["il1"]["misses"]),
-            dl1_misses=int(stats["dl1"]["misses"]),
-            l2_misses=int(stats["l2"]["misses"]) if "l2" in stats else 0,
-            accesses=len(self.trace),
-        )
-
-    def run(self, seed: int, engine: str = "fast") -> TraceRunResult:
-        """Replay the trace with the selected engine (``"fast"`` or ``"reference"``)."""
-        if engine == "fast":
-            return self.run_fast(seed)
-        if engine == "reference":
-            return self.run_reference(seed)
-        raise ValueError(f"unknown engine {engine!r}; expected 'fast' or 'reference'")
-
-    def run_batch(self, seeds: Sequence[int], engine: str = "fast") -> List[TraceRunResult]:
-        """Replay the trace once per seed with the selected engine."""
-        if engine == "fast":
-            return self.run_fast_batch(seeds)
-        if engine == "reference":
-            return [self.run_reference(seed) for seed in seeds]
-        raise ValueError(f"unknown engine {engine!r}; expected 'fast' or 'reference'")
+        return self.run(seed, engine="reference")

@@ -1,0 +1,54 @@
+"""Simulation engine subsystem: protocol, registry and built-in backends.
+
+Engine selection everywhere in the repository goes through this package:
+
+>>> from repro.engine import available_engines, get_engine
+>>> available_engines()
+('fast', 'numpy', 'reference')
+>>> get_engine("fast").supports_batch
+True
+
+Built-in backends:
+
+* ``fast``      — flat-array per-access Python engine (the historical
+  campaign workhorse, :mod:`repro.cache.fastsim`);
+* ``reference`` — object-oriented hierarchy model, slow but inspectable
+  (ground truth for cross-validation);
+* ``numpy``     — vectorized batch engine simulating all seeds of a campaign
+  chunk simultaneously (numpy is a declared dependency of the package).
+
+All three are bit-exact with each other.  See DESIGN.md ("Engines") for the
+capability matrix and how to add a backend.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    Engine,
+    EngineSimulator,
+    available_engines,
+    engine_capabilities,
+    get_engine,
+    register_engine,
+    unregister_engine,
+)
+from .fast import FastEngine
+from .numpy_engine import NumpyEngine
+from .reference import ReferenceEngine
+
+__all__ = [
+    "Engine",
+    "EngineSimulator",
+    "FastEngine",
+    "NumpyEngine",
+    "ReferenceEngine",
+    "available_engines",
+    "engine_capabilities",
+    "get_engine",
+    "register_engine",
+    "unregister_engine",
+]
+
+register_engine(FastEngine())
+register_engine(ReferenceEngine())
+register_engine(NumpyEngine())

@@ -1,0 +1,28 @@
+"""The flat-array per-access engine (the historical campaign workhorse)."""
+
+from __future__ import annotations
+
+from ..cache.fastsim import CompiledTrace, FastHierarchySimulator
+from ..cache.hierarchy import HierarchyConfig
+from .base import Engine
+
+__all__ = ["FastEngine"]
+
+
+class FastEngine(Engine):
+    """Pure-Python per-access replay on flat lists.
+
+    Bit-exact with the reference model; ``run_batch`` amortises the compiled
+    trace and the seed-invariant placement maps of deterministic caches
+    across seeds, but still simulates one seed at a time.
+    """
+
+    name = "fast"
+    supports_batch = True
+    bit_exact = True
+    requires_pickle = True
+
+    def simulator(
+        self, config: HierarchyConfig, compiled: CompiledTrace
+    ) -> FastHierarchySimulator:
+        return FastHierarchySimulator(config, compiled)

@@ -1,0 +1,421 @@
+"""NumPy batch engine: simulate every seed of a campaign simultaneously.
+
+The fast engine replays the trace once per seed; a 1000-run campaign is 1000
+Python loops over the trace.  This engine turns the campaign into **one**
+array program: the trace is walked once, and at every access all seeds
+advance together, with cache state carried as ``(n_seeds, n_sets, n_ways)``
+arrays:
+
+* ``tags``    — stored tag per way (``-1`` = invalid),
+* ``dirty``   — dirty bits (write-back caches),
+* ``victims`` — unique-line id per way, to reconstruct writeback targets,
+* ``stamp``   — last-touch clock per way (LRU caches), and
+* a per-seed ``uint64`` SplitMix64 state vector for the random-replacement
+  victim stream (:func:`repro.core.prng.splitmix64_next_array`).
+
+Placement maps are evaluated per (seed, cache) with the vectorized policy
+hooks (:meth:`repro.core.placement.PlacementPolicy.set_index_array`);
+deterministic policies share one seed-invariant map exactly like the fast
+engine's static maps.  Seed derivation (hierarchy -> cache -> policy seeds)
+runs the same SplitMix64 chain as
+:func:`repro.cache.hierarchy.derive_cache_seeds` /
+:func:`repro.cache.cache.derive_policy_seeds`, vectorized, so the engine is
+**bit-exact** with the fast and reference engines for every seed: same
+cycles, same miss counters, same victim streams.  The cross-engine
+equivalence tests assert exactly that.
+
+Per-access work is a handful of numpy gathers/scatters whose cost grows
+sub-linearly with the number of seeds, so batch throughput overtakes the
+fast engine as soon as a few dozen seeds run together (see
+``benchmarks/bench_engine.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..cache.cache import WRITE_BACK, CacheConfig
+from ..cache.fastsim import FETCH_KIND, STORE_KIND, CompiledTrace, FastRunResult
+from ..cache.hierarchy import HierarchyConfig
+from ..core.bits import mask
+from ..core.placement import make_placement, placement_is_randomized
+from ..core.prng import splitmix64_next_array
+from .base import Engine
+
+__all__ = ["NumpyEngine", "DEFAULT_MAX_LANES"]
+
+#: Seeds simulated per internal chunk.  Bounds the working set (state arrays
+#: and per-seed placement maps grow linearly with the lane count) without
+#: changing results: lanes are independent, so chunking is invisible.
+DEFAULT_MAX_LANES = 1024
+
+_U64_SPACE = 1 << 64
+
+
+class _LaneCache:
+    """One cache level, simulated for all seeds (lanes) at once."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        n_lanes: int,
+        line_sets: np.ndarray,
+        line_tags: np.ndarray,
+        replacement_states: np.ndarray,
+    ) -> None:
+        if config.replacement not in ("random", "lru"):
+            raise ValueError(
+                f"numpy engine supports 'random' and 'lru' replacement, "
+                f"got {config.replacement!r} for {config.name}"
+            )
+        self.n_lanes = n_lanes
+        self.ways = config.ways
+        self.write_back = config.write_policy == WRITE_BACK
+        self.lru = config.replacement == "lru"
+        #: (U, n_lanes) per-seed set indices, or (U,) when seed-invariant.
+        self.line_sets = line_sets
+        self.line_tags = line_tags
+        self.tag_list = line_tags.tolist()
+        shape = (n_lanes, config.num_sets, config.ways)
+        self.tags = np.full(shape, -1, dtype=np.int64)
+        self.dirty = np.zeros(shape, dtype=bool)
+        self.victims = np.zeros(shape, dtype=np.int64)
+        if self.lru:
+            self.stamp = np.zeros(shape, dtype=np.int64)
+            self._clock = 0
+        else:
+            self.rng_state = replacement_states
+        self.misses = np.zeros(n_lanes, dtype=np.int64)
+        self.accesses = np.zeros(n_lanes, dtype=np.int64)
+
+    # -------------------------------------------------------------- indexing
+
+    def sets_for(self, uid: int) -> np.ndarray:
+        """Per-lane set index of unique line ``uid`` (shape ``(n_lanes,)``)."""
+        if self.line_sets.ndim == 2:
+            return self.line_sets[uid]
+        return np.broadcast_to(self.line_sets[uid], (self.n_lanes,))
+
+    def sets_at(self, idx: np.ndarray, uids: np.ndarray) -> np.ndarray:
+        """Set indices for per-lane line ids (writeback targets)."""
+        if self.line_sets.ndim == 2:
+            return self.line_sets[uids, idx]
+        return self.line_sets[uids]
+
+    # ------------------------------------------------------------ replacement
+
+    def touch(self, idx: np.ndarray, sets: np.ndarray, ways: np.ndarray) -> None:
+        if self.lru and idx.size:
+            self._clock += 1
+            self.stamp[idx, sets, ways] = self._clock
+
+    def choose_victim(self, idx: np.ndarray, sets: np.ndarray) -> np.ndarray:
+        """First invalid way per lane, else the replacement policy's victim."""
+        rows = self.tags[idx, sets]
+        invalid = rows < 0
+        victim = invalid.argmax(axis=1)
+        full = ~invalid.any(axis=1)
+        if full.any():
+            full_idx = idx[full]
+            if self.lru:
+                victim[full] = self.stamp[full_idx, sets[full]].argmin(axis=1)
+            else:
+                victim[full] = self._draw_below(full_idx)
+        return victim
+
+    def _advance_rng(self, idx: np.ndarray) -> np.ndarray:
+        states = self.rng_state[idx]
+        out = splitmix64_next_array(states)
+        self.rng_state[idx] = states
+        return out
+
+    def _draw_below(self, idx: np.ndarray) -> np.ndarray:
+        """Vectorized ``SplitMix64.next_below(ways)`` for the given lanes."""
+        bound = self.ways
+        values = self._advance_rng(idx)
+        if _U64_SPACE % bound == 0:
+            return (values % bound).astype(np.int64)
+        limit = np.uint64(_U64_SPACE - _U64_SPACE % bound)
+        result = np.empty(idx.size, dtype=np.int64)
+        pending = np.arange(idx.size)
+        while True:
+            accepted = values < limit
+            result[pending[accepted]] = (values[accepted] % bound).astype(np.int64)
+            pending = pending[~accepted]
+            if not pending.size:
+                return result
+            values = self._advance_rng(idx[pending])
+
+
+class _VectorSimulator:
+    """Simulates all seeds of a batch through one compiled trace together."""
+
+    def __init__(
+        self,
+        config: HierarchyConfig,
+        compiled: CompiledTrace,
+        max_lanes: Optional[int] = None,
+    ) -> None:
+        if config.l2 is not None and config.l2.write_policy != WRITE_BACK:
+            raise ValueError("numpy engine models the L2 as write-back only")
+        self.config = config
+        self.compiled = compiled
+        self.max_lanes = max_lanes or DEFAULT_MAX_LANES
+        self._lines = np.array(compiled.unique_lines, dtype=np.uint64)
+        self._kinds = list(compiled.kinds)
+        self._line_ids = list(compiled.line_ids)
+        self._il1_accesses = sum(1 for kind in self._kinds if kind == FETCH_KIND)
+        self._dl1_accesses = len(self._kinds) - self._il1_accesses
+        # Seed-invariant per-cache tables: placement policy objects (reseeded
+        # per lane for randomized policies), tag arrays, and the shared map
+        # of deterministic policies (mirrors the fast engine's static maps).
+        self._slots = []
+        for slot, cache_config in (("il1", config.il1), ("dl1", config.dl1), ("l2", config.l2)):
+            if cache_config is None:
+                self._slots.append(None)
+                continue
+            policy = make_placement(cache_config.placement, cache_config.geometry, seed=0)
+            randomized = placement_is_randomized(cache_config.placement)
+            tags = policy.tag_array(self._lines)
+            static_sets = None if randomized else policy.set_index_array(self._lines)
+            self._slots.append((cache_config, policy, randomized, tags, static_sets))
+
+    # ----------------------------------------------------------------- public
+
+    def run(self, seed: int) -> FastRunResult:
+        return self.run_batch([seed])[0]
+
+    def run_batch(self, seeds: Sequence[int]) -> List[FastRunResult]:
+        results: List[FastRunResult] = []
+        seeds = list(seeds)
+        for start in range(0, len(seeds), self.max_lanes):
+            results.extend(self._run_lanes(seeds[start : start + self.max_lanes]))
+        return results
+
+    # ------------------------------------------------------------------ setup
+
+    def _derive_seed_arrays(self, seeds: Sequence[int]):
+        """Vectorized hierarchy -> cache -> policy seed derivation chain."""
+        states = np.array([seed & mask(64) for seed in seeds], dtype=np.uint64)
+        cache_seeds = [splitmix64_next_array(states) for _ in range(3)]
+        per_cache = []
+        for cache_state in cache_seeds:
+            policy_state = cache_state.copy()
+            placement_seeds = splitmix64_next_array(policy_state)
+            # The drawn replacement seed is the initial SplitMix64 state of
+            # the per-lane victim stream (SplitMix64(seed).state == seed).
+            replacement_seeds = splitmix64_next_array(policy_state)
+            per_cache.append((placement_seeds, replacement_seeds))
+        return per_cache
+
+    def _build_cache(self, slot_state, n_lanes, placement_seeds, replacement_seeds):
+        cache_config, policy, randomized, tags, static_sets = slot_state
+        if randomized:
+            maps = np.empty((len(self._lines), n_lanes), dtype=np.int64)
+            for lane in range(n_lanes):
+                policy.reseed(int(placement_seeds[lane]))
+                maps[:, lane] = policy.set_index_array(self._lines)
+            line_sets = maps
+        else:
+            line_sets = static_sets
+        return _LaneCache(cache_config, n_lanes, line_sets, tags, replacement_seeds)
+
+    # ------------------------------------------------------------- simulation
+
+    def _run_lanes(self, seeds: Sequence[int]) -> List[FastRunResult]:
+        if not seeds:
+            return []
+        n = len(seeds)
+        per_cache = self._derive_seed_arrays(seeds)
+        il1 = self._build_cache(self._slots[0], n, *per_cache[0])
+        dl1 = self._build_cache(self._slots[1], n, *per_cache[1])
+        l2 = (
+            self._build_cache(self._slots[2], n, *per_cache[2])
+            if self._slots[2] is not None
+            else None
+        )
+
+        timings = self.config.timings
+        l2_hit_latency = timings.l2_hit
+        memory_latency = timings.memory
+        writeback_latency = timings.writeback
+
+        extra_cycles = np.zeros(n, dtype=np.int64)
+        memory_accesses = np.zeros(n, dtype=np.int64)
+        lanes = np.arange(n)
+
+        fetch_kind = FETCH_KIND
+        store_kind = STORE_KIND
+        for kind, uid in zip(self._kinds, self._line_ids):
+            is_store = kind == store_kind
+            l1 = il1 if kind == fetch_kind else dl1
+
+            sets = l1.sets_for(uid)
+            tag = l1.tag_list[uid]
+            match = l1.tags[lanes, sets] == tag
+            hit = match.any(axis=1)
+            all_hit = hit.all()
+
+            # ----- L1 hits: LRU touch, store dirty/write-through traffic.
+            if l1.lru or is_store:
+                hit_idx = lanes if all_hit else np.nonzero(hit)[0]
+                if hit_idx.size:
+                    hit_sets = sets[hit_idx]
+                    hit_ways = match[hit_idx].argmax(axis=1)
+                    l1.touch(hit_idx, hit_sets, hit_ways)
+                    if is_store:
+                        if l1.write_back:
+                            l1.dirty[hit_idx, hit_sets, hit_ways] = True
+                        elif l2 is not None:
+                            self._l2_write(
+                                l2, hit_idx, np.full(hit_idx.size, uid)
+                            )
+                        else:
+                            memory_accesses[hit_idx] += 1
+            if all_hit:
+                continue
+
+            # ----- L1 misses.
+            miss_idx = np.nonzero(~hit)[0]
+            l1.misses[miss_idx] += 1
+            miss_sets = sets[miss_idx]
+            writeback_uids = None
+            writeback_lanes = None
+            allocate = not (is_store and not l1.write_back)
+            if allocate:
+                victim_way = l1.choose_victim(miss_idx, miss_sets)
+                if l1.write_back:
+                    victim_tags = l1.tags[miss_idx, miss_sets, victim_way]
+                    needs_writeback = (victim_tags >= 0) & l1.dirty[
+                        miss_idx, miss_sets, victim_way
+                    ]
+                    if needs_writeback.any():
+                        writeback_lanes = miss_idx[needs_writeback]
+                        writeback_uids = l1.victims[miss_idx, miss_sets, victim_way][
+                            needs_writeback
+                        ]
+                l1.tags[miss_idx, miss_sets, victim_way] = tag
+                l1.victims[miss_idx, miss_sets, victim_way] = uid
+                l1.dirty[miss_idx, miss_sets, victim_way] = is_store and l1.write_back
+                l1.touch(miss_idx, miss_sets, victim_way)
+
+            # Dirty L1 victims go to the next level first.
+            if writeback_lanes is not None:
+                if l2 is not None:
+                    extra_cycles[writeback_lanes] += writeback_latency
+                    self._l2_write(l2, writeback_lanes, writeback_uids)
+                else:
+                    extra_cycles[writeback_lanes] += memory_latency
+                    memory_accesses[writeback_lanes] += 1
+
+            # The demand request goes to the next level.
+            if l2 is None:
+                extra_cycles[miss_idx] += memory_latency
+                memory_accesses[miss_idx] += 1
+                continue
+            next_is_write = is_store and not l1.write_back
+            extra_cycles[miss_idx] += l2_hit_latency
+            self._l2_demand(
+                l2, miss_idx, uid, next_is_write, extra_cycles, memory_accesses,
+                writeback_latency, memory_latency,
+            )
+
+        base_cycles = len(self._kinds) * timings.l1_hit
+        return [
+            FastRunResult(
+                cycles=int(base_cycles + extra_cycles[i]),
+                memory_accesses=int(memory_accesses[i]),
+                il1_accesses=self._il1_accesses,
+                il1_misses=int(il1.misses[i]),
+                dl1_accesses=self._dl1_accesses,
+                dl1_misses=int(dl1.misses[i]),
+                l2_accesses=int(l2.accesses[i]) if l2 is not None else 0,
+                l2_misses=int(l2.misses[i]) if l2 is not None else 0,
+            )
+            for i in range(n)
+        ]
+
+    def _l2_demand(
+        self, l2, idx, uid, is_write, extra_cycles, memory_accesses,
+        writeback_latency, memory_latency,
+    ) -> None:
+        """Demand fill of ``uid`` in the L2 for the given lanes (with latency)."""
+        l2.accesses[idx] += 1
+        sets = l2.sets_for(uid)[idx]
+        tag = l2.tag_list[uid]
+        match = l2.tags[idx, sets] == tag
+        hit = match.any(axis=1)
+        hit_idx = idx[hit]
+        if hit_idx.size:
+            hit_ways = match[hit].argmax(axis=1)
+            l2.touch(hit_idx, sets[hit], hit_ways)
+            if is_write:
+                l2.dirty[hit_idx, sets[hit], hit_ways] = True
+        miss = ~hit
+        miss_idx = idx[miss]
+        if not miss_idx.size:
+            return
+        miss_sets = sets[miss]
+        l2.misses[miss_idx] += 1
+        victim_way = l2.choose_victim(miss_idx, miss_sets)
+        victim_tags = l2.tags[miss_idx, miss_sets, victim_way]
+        dirty_victim = (victim_tags >= 0) & l2.dirty[miss_idx, miss_sets, victim_way]
+        if dirty_victim.any():
+            dirty_lanes = miss_idx[dirty_victim]
+            extra_cycles[dirty_lanes] += writeback_latency
+            memory_accesses[dirty_lanes] += 1
+        l2.tags[miss_idx, miss_sets, victim_way] = tag
+        l2.victims[miss_idx, miss_sets, victim_way] = uid
+        l2.dirty[miss_idx, miss_sets, victim_way] = is_write
+        l2.touch(miss_idx, miss_sets, victim_way)
+        extra_cycles[miss_idx] += memory_latency
+        memory_accesses[miss_idx] += 1
+
+    @staticmethod
+    def _l2_write(l2, idx, uids) -> None:
+        """Latency-free write-through/writeback update of the L2.
+
+        Mirrors ``FastHierarchySimulator._l2_write``: hits are marked dirty,
+        misses allocate (dirty) without charging latency or memory traffic.
+        ``uids`` is a per-lane array (writeback targets differ across seeds).
+        """
+        l2.accesses[idx] += 1
+        sets = l2.sets_at(idx, uids)
+        tags = l2.line_tags[uids]
+        match = l2.tags[idx, sets] == tags[:, None]
+        hit = match.any(axis=1)
+        hit_idx = idx[hit]
+        if hit_idx.size:
+            hit_ways = match[hit].argmax(axis=1)
+            l2.touch(hit_idx, sets[hit], hit_ways)
+            l2.dirty[hit_idx, sets[hit], hit_ways] = True
+        miss = ~hit
+        miss_idx = idx[miss]
+        if not miss_idx.size:
+            return
+        miss_sets = sets[miss]
+        l2.misses[miss_idx] += 1
+        victim_way = l2.choose_victim(miss_idx, miss_sets)
+        l2.tags[miss_idx, miss_sets, victim_way] = tags[miss]
+        l2.victims[miss_idx, miss_sets, victim_way] = uids[miss]
+        l2.dirty[miss_idx, miss_sets, victim_way] = True
+        l2.touch(miss_idx, miss_sets, victim_way)
+
+
+class NumpyEngine(Engine):
+    """Vectorized batch engine: one array program per campaign chunk."""
+
+    name = "numpy"
+    supports_batch = True
+    bit_exact = True
+    requires_pickle = True
+
+    def __init__(self, max_lanes: Optional[int] = None) -> None:
+        self.max_lanes = max_lanes
+
+    def simulator(
+        self, config: HierarchyConfig, compiled: CompiledTrace
+    ) -> _VectorSimulator:
+        return _VectorSimulator(config, compiled, max_lanes=self.max_lanes)

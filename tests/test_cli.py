@@ -1,8 +1,14 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import csv
+import io
+import json
+
 import pytest
 
 from repro.__main__ import EXPERIMENTS, build_parser, main
+from repro.analysis.report import CSV_HEADER
+from repro.engine import available_engines
 
 
 class TestParser:
@@ -36,3 +42,47 @@ class TestRun:
     def test_run_ablation_replacement_small(self, capsys):
         assert main(["run", "ablation_repl", "--runs", "25", "--scale", "0.25"]) == 0
         assert "placement x replacement" in capsys.readouterr().out
+
+
+class TestEngineSelection:
+    def test_engine_choices_come_from_registry(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "fig5", "--engine", "numpy"])
+        assert args.engine == "numpy"
+        assert set(available_engines()) >= {"fast", "numpy", "reference"}
+
+    def test_unregistered_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig5", "--engine", "warp"])
+
+    def test_run_with_numpy_engine(self, capsys):
+        assert main(
+            ["run", "fig5", "--runs", "20", "--scale", "0.25", "--engine", "numpy"]
+        ) == 0
+        assert "pWCET" in capsys.readouterr().out
+
+
+class TestOutputFormats:
+    def test_json_format_is_parseable_and_self_identifying(self, capsys):
+        assert main(["run", "table1", "--format", "json"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["experiment"] == "table1"
+        assert "asic" in payload["result"]
+        # Progress chatter moves to stderr so stdout stays machine-readable.
+        assert "finished" in captured.err
+        assert "finished" not in captured.out
+
+    def test_csv_format_emits_header_and_rows(self, capsys):
+        assert main(["run", "table1", "--format", "csv"]) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.strip().splitlines()
+        assert lines[0] == CSV_HEADER
+        rows = list(csv.reader(io.StringIO("\n".join(lines[1:]))))
+        assert rows, "expected at least one data row"
+        assert all(row[0] == "table1" and len(row) == 3 for row in rows)
+
+    def test_text_format_is_default(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "finished" in out

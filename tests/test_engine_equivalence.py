@@ -1,0 +1,177 @@
+"""Cross-engine equivalence: every registered engine must agree bit-exactly.
+
+The fast engine is validated against the reference model in
+``test_fastsim.py``; these tests close the loop over the *registry*: random
+traces and configurations are replayed through **all registered engines**
+(so a future backend is automatically covered the moment it registers) and
+every counter must match, run by run — including through the campaign and
+process-pool layers.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.campaign import run_campaign
+from repro.cache.cache import CacheConfig
+from repro.cache.fastsim import CompiledTrace
+from repro.cache.hierarchy import HierarchyConfig, MemoryTimings
+from repro.cpu.core import TraceDrivenCore
+from repro.cpu.trace import Trace
+from repro.engine import available_engines, get_engine
+
+
+def build_config(
+    l1_placement="rm",
+    l1_replacement="random",
+    l1_write="write-through",
+    l2_placement="hrp",
+    l2_replacement="random",
+    with_l2=True,
+    ways=2,
+):
+    l1_size = ways * 32 * 8  # 8 sets at any associativity
+    il1 = CacheConfig(
+        name="IL1", size_bytes=l1_size, ways=ways, line_size=32,
+        placement=l1_placement, replacement=l1_replacement, write_policy=l1_write,
+    )
+    dl1 = CacheConfig(
+        name="DL1", size_bytes=l1_size, ways=ways, line_size=32,
+        placement=l1_placement, replacement=l1_replacement, write_policy=l1_write,
+    )
+    l2 = (
+        CacheConfig(
+            name="L2", size_bytes=2048, ways=4, line_size=32,
+            placement=l2_placement, replacement=l2_replacement,
+            write_policy="write-back",
+        )
+        if with_l2
+        else None
+    )
+    return HierarchyConfig(il1=il1, dl1=dl1, l2=l2, timings=MemoryTimings())
+
+
+def run_all_engines(config, trace, seeds):
+    """Map engine name -> list of per-seed result dicts, via the registry."""
+    compiled = CompiledTrace(trace, line_size=config.il1.line_size)
+    results = {}
+    for name in available_engines():
+        simulator = get_engine(name).simulator(config, compiled)
+        results[name] = [result.as_dict() for result in simulator.run_batch(seeds)]
+    return results
+
+
+def assert_all_equal(results):
+    names = sorted(results)
+    baseline_name = names[0]
+    baseline = results[baseline_name]
+    for name in names[1:]:
+        assert results[name] == baseline, f"{name} disagrees with {baseline_name}"
+
+
+class TestAllRegisteredEnginesAgree:
+    @given(
+        seed=st.integers(0, 2**64 - 1),
+        accesses=st.lists(
+            st.tuples(st.sampled_from([0, 1, 2]), st.integers(0, 63)),
+            min_size=10,
+            max_size=200,
+        ),
+        l1_placement=st.sampled_from(["modulo", "xor", "hrp", "rm"]),
+        l1_replacement=st.sampled_from(["random", "lru"]),
+        l1_write=st.sampled_from(["write-through", "write-back"]),
+        l2_placement=st.sampled_from(["modulo", "xor", "hrp", "rm"]),
+        l2_replacement=st.sampled_from(["random", "lru"]),
+        with_l2=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_traces_and_configs_property(
+        self, seed, accesses, l1_placement, l1_replacement, l1_write,
+        l2_placement, l2_replacement, with_l2
+    ):
+        """Identical cycles and miss counters across every registered engine."""
+        trace = Trace(name="hypothesis")
+        for kind, line in accesses:
+            trace.append(kind, 0x40000000 + line * 32)
+        config = build_config(
+            l1_placement=l1_placement,
+            l1_replacement=l1_replacement,
+            l1_write=l1_write,
+            l2_placement=l2_placement,
+            l2_replacement=l2_replacement,
+            with_l2=with_l2,
+        )
+        assert_all_equal(run_all_engines(config, trace, [seed, seed ^ 0xDEAD]))
+
+    def test_l2_lru_and_deterministic_l2_placement(self, small_kernel_trace):
+        """Directed coverage of the L2 LRU-stamp and static-map paths."""
+        for l2_placement in ("modulo", "rm"):
+            config = build_config(
+                l1_write="write-back",
+                l2_placement=l2_placement,
+                l2_replacement="lru",
+            )
+            assert_all_equal(run_all_engines(config, small_kernel_trace, list(range(5))))
+
+    def test_three_way_cache_exercises_rejection_sampling(self, small_kernel_trace):
+        """Non-power-of-two associativity hits the PRNG rejection-sampling path."""
+        config = build_config(l1_placement="hrp", ways=3)
+        assert_all_equal(run_all_engines(config, small_kernel_trace, list(range(8))))
+
+    def test_trace_core_routes_all_engines(self, small_kernel_trace, tiny_hierarchy_config):
+        core = TraceDrivenCore(tiny_hierarchy_config, small_kernel_trace)
+        for seed in (0, 9, 2**63 + 5):
+            runs = {
+                name: [core.run(seed, engine=name).as_dict()]
+                for name in available_engines()
+            }
+            assert_all_equal(runs)
+
+
+class TestCampaignLevelEquivalence:
+    def test_serial_campaigns_identical_across_engines(
+        self, small_kernel_trace, tiny_hierarchy_config
+    ):
+        campaigns = {
+            name: run_campaign(
+                small_kernel_trace,
+                tiny_hierarchy_config,
+                runs=12,
+                master_seed=77,
+                engine=name,
+            ).execution_times
+            for name in available_engines()
+        }
+        assert_all_equal(campaigns)
+
+    @pytest.mark.parametrize("jobs", [2, 3])
+    def test_numpy_engine_bit_exact_under_process_pool(
+        self, jobs, small_kernel_trace, tiny_hierarchy_config
+    ):
+        """engine='numpy' composes with jobs>1: vectorized chunks per worker."""
+        serial_fast = run_campaign(
+            small_kernel_trace, tiny_hierarchy_config, runs=13, master_seed=3
+        )
+        parallel_numpy = run_campaign(
+            small_kernel_trace,
+            tiny_hierarchy_config,
+            runs=13,
+            master_seed=3,
+            engine="numpy",
+            jobs=jobs,
+        )
+        assert parallel_numpy.execution_times == serial_fast.execution_times
+
+    def test_numpy_batch_chunking_is_invisible(self, small_kernel_trace, tiny_hierarchy_config):
+        """Internal lane chunking must not change results."""
+        from repro.engine.numpy_engine import NumpyEngine
+
+        compiled = CompiledTrace(
+            small_kernel_trace, line_size=tiny_hierarchy_config.il1.line_size
+        )
+        seeds = list(range(17))
+        whole = NumpyEngine().simulator(tiny_hierarchy_config, compiled).run_batch(seeds)
+        chunked = (
+            NumpyEngine(max_lanes=4).simulator(tiny_hierarchy_config, compiled).run_batch(seeds)
+        )
+        assert whole == chunked

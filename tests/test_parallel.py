@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.analysis import parallel
 from repro.analysis.campaign import CampaignResult, run_campaign, run_layout_campaign
 from repro.analysis.parallel import (
     DEFAULT_CHUNK_SIZE,
@@ -9,9 +10,17 @@ from repro.analysis.parallel import (
     resolve_jobs,
     run_campaign_parallel,
 )
+from repro.cache.fastsim import CompiledTrace
+from repro.engine import FastEngine, available_engines, register_engine, unregister_engine
 from repro.platform.leon3 import platform_setup
 from repro.workloads.base import random_layouts
 from repro.workloads.eembc import EembcLayoutTraceBuilder
+
+
+class RenamedFastEngine(FastEngine):
+    """Module-level (hence picklable) custom engine for registry tests."""
+
+    name = "test-custom-fast"
 
 
 class TestResolveJobs:
@@ -108,15 +117,82 @@ class TestParallelSeedCampaign:
         )
         assert parallel.execution_times == serial.execution_times
 
-    def test_reference_engine_requires_serial(self, small_kernel_trace, tiny_hierarchy_config):
-        with pytest.raises(ValueError, match="engine='fast'"):
+    def test_workers_select_engine_by_registry_name(
+        self, small_kernel_trace, tiny_hierarchy_config
+    ):
+        """Any registered engine composes with the process pool, bit-exactly."""
+        serial = run_campaign(
+            small_kernel_trace, tiny_hierarchy_config, runs=6, master_seed=5
+        )
+        for engine in available_engines():
+            parallel = run_campaign_parallel(
+                small_kernel_trace,
+                tiny_hierarchy_config,
+                runs=6,
+                master_seed=5,
+                engine=engine,
+                jobs=2,
+            )
+            assert parallel.execution_times == serial.execution_times, engine
+
+    def test_unknown_engine_rejected_in_parent(
+        self, small_kernel_trace, tiny_hierarchy_config
+    ):
+        with pytest.raises(ValueError, match="unknown engine"):
             run_campaign_parallel(
                 small_kernel_trace,
                 tiny_hierarchy_config,
                 runs=4,
-                engine="reference",
+                engine="warp",
                 jobs=2,
             )
+
+    def test_user_registered_engine_composes_with_pool(
+        self, small_kernel_trace, tiny_hierarchy_config
+    ):
+        """Engines registered at runtime work through jobs>1 too."""
+        serial = run_campaign(
+            small_kernel_trace, tiny_hierarchy_config, runs=6, master_seed=21
+        )
+        register_engine(RenamedFastEngine())
+        try:
+            parallel_custom = run_campaign_parallel(
+                small_kernel_trace,
+                tiny_hierarchy_config,
+                runs=6,
+                master_seed=21,
+                engine="test-custom-fast",
+                jobs=2,
+            )
+        finally:
+            unregister_engine("test-custom-fast")
+        assert parallel_custom.execution_times == serial.execution_times
+
+    def test_worker_initializer_needs_no_registry(
+        self, small_kernel_trace, tiny_hierarchy_config
+    ):
+        """Workers receive the resolved engine object, not a name to re-look-up.
+
+        Spawn-based start methods re-import repro.engine in the child, which
+        only re-registers the built-ins; shipping the resolved object keeps
+        user-registered engines working there.  Simulate that child state by
+        initialising the worker with an engine that is *not* registered.
+        """
+        compiled = CompiledTrace(
+            small_kernel_trace, line_size=tiny_hierarchy_config.il1.line_size
+        )
+        parallel._init_seed_worker(
+            tiny_hierarchy_config, compiled, RenamedFastEngine()
+        )
+        try:
+            start, results = parallel._run_seed_chunk((0, [3, 4]))
+        finally:
+            parallel._worker_simulator = None
+        assert start == 0
+        assert [r.cycles for r in results] == [
+            FastEngine().simulator(tiny_hierarchy_config, compiled).run(seed).cycles
+            for seed in (3, 4)
+        ]
 
 
 class TestParallelLayoutCampaign:
