@@ -1,0 +1,119 @@
+"""Benchmarks of the study subsystem: batching, caching, planning overhead.
+
+The study runner groups scenarios that share a workload (trace built and
+compiled once) and concatenates the seed lists of scenarios sharing a
+(trace, hierarchy, engine) triple into a single engine batch, so a batch
+engine such as ``numpy`` simulates a whole sub-sweep as one array program.
+``test_batched_vs_sequential_speedup`` measures that cross-scenario gain
+head-to-head against one ``run_campaign`` call per scenario (the shape the
+legacy drivers had) and prints the table; bit-exactness between the two
+paths is asserted, timing is reported only (shared CI boxes are noisy).
+
+``test_cache_hit_speedup`` measures the other axis: resolving a study from
+the on-disk result store instead of simulating.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.campaign import run_campaign
+from repro.study import (
+    HierarchySpec,
+    ResultStore,
+    Scenario,
+    WorkloadSpec,
+    execute_scenarios,
+)
+
+#: Seed-replication sweep: one scenario per seed base, all sharing the same
+#: (workload, hierarchy), so the runner fuses them into one engine batch.
+SWEEP_WIDTH = 8
+RUNS_PER_SCENARIO = 32
+
+
+def _sweep(engine: str):
+    workload = WorkloadSpec.eembc("a2time")
+    hierarchy = HierarchySpec.named("rm")
+    return [
+        Scenario(
+            workload=workload,
+            hierarchy=hierarchy,
+            runs=RUNS_PER_SCENARIO,
+            master_seed=1000 * index,
+            engine=engine,
+            label=f"replica_{index}",
+        )
+        for index in range(SWEEP_WIDTH)
+    ]
+
+
+def _sequential(scenarios):
+    """The legacy shape: one run_campaign call per scenario, trace rebuilt."""
+    campaigns = {}
+    for scenario in scenarios:
+        trace = scenario.workload.build_trace()
+        campaigns[scenario.label] = run_campaign(
+            trace,
+            scenario.hierarchy.config(),
+            runs=scenario.runs,
+            master_seed=scenario.effective_seed,
+            engine=scenario.engine,
+        )
+    return campaigns
+
+
+@pytest.mark.parametrize("engine_name", ["fast", "numpy"])
+def test_batched_study_execution(benchmark, engine_name):
+    """Wall-clock of the batched runner over the whole sweep."""
+    scenarios = _sweep(engine_name)
+    results = benchmark.pedantic(
+        execute_scenarios, args=(scenarios,), rounds=1, iterations=1
+    )
+    assert results.report.batches == 1  # the whole sweep fused into one call
+
+
+def test_batched_vs_sequential_speedup(capsys):
+    """Cross-scenario batching gain per engine (prints the measured table)."""
+    with capsys.disabled():
+        print("\nstudy batching: sequential run_campaign vs fused engine batch")
+        print(f"({SWEEP_WIDTH} scenarios x {RUNS_PER_SCENARIO} runs, a2time, rm)")
+        print("engine | sequential (s) | batched (s) | speedup")
+        for engine_name in ("fast", "numpy"):
+            scenarios = _sweep(engine_name)
+            start = time.perf_counter()
+            sequential = _sequential(scenarios)
+            sequential_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            batched = execute_scenarios(scenarios)
+            batched_seconds = time.perf_counter() - start
+            print(
+                f"{engine_name:6} | {sequential_seconds:14.2f} | "
+                f"{batched_seconds:11.2f} | "
+                f"{sequential_seconds / batched_seconds:.2f}x"
+            )
+            for scenario in scenarios:
+                assert (
+                    batched.campaign(scenario.label).execution_times
+                    == sequential[scenario.label].execution_times
+                )
+
+
+def test_cache_hit_speedup(tmp_path, capsys):
+    """Resolving a sweep from the result store vs simulating it."""
+    store = ResultStore(tmp_path / "store")
+    scenarios = _sweep("fast")
+    start = time.perf_counter()
+    cold = execute_scenarios(scenarios, store=store)
+    cold_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = execute_scenarios(scenarios, store=store)
+    warm_seconds = time.perf_counter() - start
+    assert warm.report.full_cache_hit
+    for label in cold.labels():
+        assert warm.campaign(label).execution_times == cold.campaign(label).execution_times
+    with capsys.disabled():
+        print(
+            f"\nresult store: cold {cold_seconds:.2f}s, warm {warm_seconds:.3f}s "
+            f"({cold_seconds / max(warm_seconds, 1e-9):.0f}x)"
+        )

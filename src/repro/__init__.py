@@ -19,6 +19,8 @@ The package is organised in layers (see DESIGN.md):
   modules (Table 1).
 * :mod:`repro.analysis` — measurement campaigns and one driver per paper
   table/figure.
+* :mod:`repro.study` — declarative scenarios, sweeps and registered
+  studies, executed through a content-hash-keyed on-disk result store.
 * :mod:`repro.platform` — LEON3-like platform configuration factories.
 
 Quickstart
@@ -64,6 +66,19 @@ from .cpu import Trace, TraceDrivenCore, assemble, run_program
 from .engine import available_engines, engine_capabilities, get_engine, register_engine
 from .mbpta import MbptaConfig, MbptaResult, apply_mbpta, fit_gumbel
 from .platform import Leon3Parameters, leon3_hierarchy, platform_setup
+from .study import (
+    HierarchySpec,
+    ResultSet,
+    ResultStore,
+    Scenario,
+    Study,
+    Sweep,
+    WorkloadSpec,
+    available_studies,
+    get_study,
+    register_study,
+    run_study,
+)
 from .workloads import (
     MemoryLayout,
     eembc_kernel_names,
@@ -121,6 +136,18 @@ __all__ = [
     "Leon3Parameters",
     "leon3_hierarchy",
     "platform_setup",
+    # study
+    "HierarchySpec",
+    "ResultSet",
+    "ResultStore",
+    "Scenario",
+    "Study",
+    "Sweep",
+    "WorkloadSpec",
+    "available_studies",
+    "get_study",
+    "register_study",
+    "run_study",
     # workloads
     "MemoryLayout",
     "eembc_kernel_names",

@@ -12,14 +12,28 @@ Usage::
     python -m repro run fig4a --format json     # machine-readable output
     python -m repro run all --format csv > results.csv
 
+    python -m repro study list                  # registered studies
+    python -m repro study run fig5 --runs 200   # cached: repeats hit the store
+    python -m repro study run all --engine numpy
+    python -m repro study compare fig5 fig5     # diff two executed studies
+    python -m repro study clean                 # drop the result store
+
 Each experiment id corresponds to one table/figure of the paper (see
-DESIGN.md's per-experiment index).  ``--engine`` accepts any registered
-simulation engine (:func:`repro.engine.available_engines`); all built-in
-engines are bit-exact, so the flag only changes wall-clock time.
-``--format`` selects the output rendering: ``text`` (default, the same
-plain-text tables the benches print), ``json`` (one object per experiment)
-or ``csv`` (``experiment,key,value`` rows) — with non-text formats the
-progress chatter moves to stderr so stdout stays machine-readable.
+DESIGN.md's per-experiment index); both surfaces resolve ids through the
+study registry (:mod:`repro.study`).  ``run`` always simulates — the
+historical behaviour — while ``study run`` executes through the on-disk
+result store (``results/store/`` by default, override with ``--store``):
+scenarios whose spec hash is already stored are loaded instead of
+re-simulated, so a repeated ``study run`` is a full cache hit.
+
+``--engine`` accepts any registered simulation engine
+(:func:`repro.engine.available_engines`); all built-in engines are
+bit-exact, so the flag only changes wall-clock time.  ``--format`` selects
+the output rendering: ``text`` (default, the same plain-text tables the
+benches print), ``json`` (one object per experiment, including per-scenario
+cache miss rates) or ``csv`` (``experiment,key,value`` rows) — with
+non-text formats the progress chatter moves to stderr so stdout stays
+machine-readable.
 """
 
 from __future__ import annotations
@@ -28,35 +42,65 @@ import argparse
 import sys
 import time
 from dataclasses import replace
-from typing import Dict
+from typing import Dict, Optional
 
-from .analysis.experiments import (
-    ExperimentSettings,
-    experiment_avg_performance,
-    experiment_fig1,
-    experiment_fig4a,
-    experiment_fig4b,
-    experiment_fig5,
-    experiment_footprint_ablation,
-    experiment_replacement_ablation,
-    experiment_table1,
-    experiment_table2,
-)
+from .analysis.experiments import ExperimentSettings
 from .analysis.report import CSV_HEADER, RESULT_FORMATS, render_result
 from .engine import available_engines, get_engine
+from .mbpta.protocol import MBPTA_MIN_RUNS
+from .study import DEFAULT_STORE_DIR, ResultStore, available_studies, get_study
 
 #: Experiment id -> (description, driver taking ExperimentSettings).
+#: Derived from the study registry; kept for backwards compatibility with
+#: callers that imported this mapping.
 EXPERIMENTS: Dict[str, tuple] = {
-    "table1": ("ASIC & FPGA implementation results", lambda s: experiment_table1()),
-    "table2": ("MBPTA compliance (WW/KS) for EEMBC under RM", experiment_table2),
-    "fig1": ("EVT projection / pWCET curve", experiment_fig1),
-    "fig4a": ("RM pWCET normalised to hRP", experiment_fig4a),
-    "fig4b": ("RM pWCET vs deterministic high-water mark", experiment_fig4b),
-    "fig5": ("Synthetic kernel distributions and pWCET", experiment_fig5),
-    "avg_perf": ("Average performance of RM vs modulo", experiment_avg_performance),
-    "ablation_seg": ("Footprint sweep ablation", experiment_footprint_ablation),
-    "ablation_repl": ("Replacement-policy ablation", experiment_replacement_ablation),
+    name: (
+        get_study(name).description,
+        lambda settings, _name=name: get_study(_name).run(settings).result,
+    )
+    for name in available_studies()
 }
+
+
+def _add_campaign_arguments(
+    parser: argparse.ArgumentParser, include_format: bool = True
+) -> None:
+    """The knobs shared by ``run`` and ``study run``/``study compare``."""
+    parser.add_argument("--runs", type=int, default=None, help="measurement runs per campaign")
+    parser.add_argument("--scale", type=float, default=None, help="workload iteration scale factor")
+    parser.add_argument("--seed", type=int, default=None, help="campaign master seed")
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes per campaign (1 = serial, 0 = all CPUs); "
+        "results are bit-exact for any value",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=available_engines(),
+        default=None,
+        help="simulation engine (all built-in engines are bit-exact; "
+        "'numpy' vectorizes whole seed batches)",
+    )
+    if include_format:
+        parser.add_argument(
+            "--format",
+            choices=RESULT_FORMATS,
+            default="text",
+            dest="output_format",
+            help="output format: plain-text tables (default), JSON objects, or "
+            "experiment,key,value CSV rows",
+        )
+
+
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=DEFAULT_STORE_DIR,
+        help=f"result store directory (default: {DEFAULT_STORE_DIR})",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,32 +114,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = subparsers.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
-    run.add_argument("--runs", type=int, default=None, help="measurement runs per campaign")
-    run.add_argument("--scale", type=float, default=None, help="workload iteration scale factor")
-    run.add_argument("--seed", type=int, default=None, help="campaign master seed")
-    run.add_argument(
-        "--jobs",
-        "-j",
-        type=int,
-        default=None,
-        help="worker processes per campaign (1 = serial, 0 = all CPUs); "
-        "results are bit-exact for any value",
+    _add_campaign_arguments(run)
+
+    study = subparsers.add_parser(
+        "study", help="declarative studies with an on-disk result store"
     )
-    run.add_argument(
-        "--engine",
-        choices=available_engines(),
-        default=None,
-        help="simulation engine (all built-in engines are bit-exact; "
-        "'numpy' vectorizes whole seed batches)",
+    study_commands = study.add_subparsers(dest="study_command", required=True)
+
+    study_commands.add_parser("list", help="list registered studies")
+
+    study_run = study_commands.add_parser(
+        "run", help="run one study (or 'all') through the result store"
     )
-    run.add_argument(
-        "--format",
-        choices=RESULT_FORMATS,
-        default="text",
-        dest="output_format",
-        help="output format: plain-text tables (default), JSON objects, or "
-        "experiment,key,value CSV rows",
+    study_run.add_argument("study", choices=sorted(EXPERIMENTS) + ["all"])
+    _add_campaign_arguments(study_run)
+    _add_store_argument(study_run)
+    study_run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore stored results (fresh simulations are still stored)",
     )
+
+    study_compare = study_commands.add_parser(
+        "compare", help="run two studies and compare scenarios sharing a label"
+    )
+    study_compare.add_argument("study_a", choices=sorted(EXPERIMENTS))
+    study_compare.add_argument("study_b", choices=sorted(EXPERIMENTS))
+    # The comparison is a human-facing diff table; no --format here.
+    _add_campaign_arguments(study_compare, include_format=False)
+    _add_store_argument(study_compare)
+
+    study_clean = study_commands.add_parser("clean", help="delete the result store")
+    _add_store_argument(study_clean)
+
     return parser
 
 
@@ -114,24 +165,59 @@ def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
     return settings
 
 
-def _run_one(identifier: str, settings: ExperimentSettings, output_format: str) -> None:
-    description, driver = EXPERIMENTS[identifier]
+def _validate_run_request(targets, settings: ExperimentSettings) -> Optional[str]:
+    """One-line error when the requested campaign size is unusable, else None."""
+    if settings.runs < 1:
+        return f"error: --runs must be >= 1, got {settings.runs}"
+    for identifier in targets:
+        minimum = get_study(identifier).min_runs
+        if settings.runs < minimum:
+            detail = (
+                "the MBPTA protocol minimum"
+                if minimum == MBPTA_MIN_RUNS
+                else "this study's declared minimum"
+            )
+            return (
+                f"error: experiment '{identifier}' needs at least {minimum} "
+                f"measurement runs per campaign ({detail}); "
+                f"got --runs {settings.runs}"
+            )
+    return None
+
+
+def _run_one(
+    identifier: str,
+    settings: ExperimentSettings,
+    output_format: str,
+    store: Optional[ResultStore] = None,
+    use_cache: bool = True,
+) -> None:
+    study = get_study(identifier)
     chatter = sys.stdout if output_format == "text" else sys.stderr
-    print(f"== {identifier}: {description}", file=chatter)
+    print(f"== {identifier}: {study.description}", file=chatter)
     start = time.time()
-    result = driver(settings)
-    print(render_result(identifier, result, output_format))
+    outcome = study.run(settings, store=store, use_cache=use_cache)
+    print(
+        render_result(
+            identifier,
+            outcome.result,
+            output_format,
+            miss_rates=outcome.results.miss_rates(),
+        )
+    )
+    if store is not None:
+        print(f"-- {identifier}: {outcome.report.summary()}", file=chatter)
     print(f"-- {identifier} finished in {time.time() - start:.1f}s\n", file=chatter)
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    if args.command == "list":
-        width = max(len(name) for name in EXPERIMENTS)
-        for name, (description, _) in EXPERIMENTS.items():
-            print(f"{name.ljust(width)}  {description}")
-        return 0
+def _resolve_targets(requested: str) -> list:
+    return sorted(EXPERIMENTS) if requested == "all" else [requested]
+
+
+def _validated_settings(
+    parser: argparse.ArgumentParser, args: argparse.Namespace, targets
+) -> Optional[ExperimentSettings]:
+    """Merge env/flags and validate; prints the error and returns None if bad."""
     settings = _settings_from_args(args)
     # Validate after merging env vars (REPRO_JOBS) and command-line flags, so
     # a bad value is rejected with a clean message wherever it came from.
@@ -141,11 +227,81 @@ def main(argv: list[str] | None = None) -> int:
         get_engine(settings.engine)  # catches bad REPRO_ENGINE values too
     except ValueError as error:
         parser.error(str(error))
-    targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    if args.output_format == "csv":
-        print(CSV_HEADER)
+    problem = _validate_run_request(targets, settings)
+    if problem is not None:
+        print(problem, file=sys.stderr)
+        return None
+    return settings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+
+    if args.command == "run":
+        targets = _resolve_targets(args.experiment)
+        settings = _validated_settings(parser, args, targets)
+        if settings is None:
+            return 2
+        if args.output_format == "csv":
+            print(CSV_HEADER)
+        for identifier in targets:
+            _run_one(identifier, settings, args.output_format)
+        return 0
+
+    # command == "study"
+    if args.study_command == "list":
+        width = max(len(name) for name in available_studies())
+        for name in available_studies():
+            study = get_study(name)
+            print(f"{name.ljust(width)}  {study.description}")
+        return 0
+
+    if args.study_command == "clean":
+        removed = ResultStore(args.store).clear()
+        print(f"removed {removed} stored result(s) from {args.store}")
+        return 0
+
+    store = ResultStore(args.store)
+
+    if args.study_command == "run":
+        targets = _resolve_targets(args.study)
+        settings = _validated_settings(parser, args, targets)
+        if settings is None:
+            return 2
+        if args.output_format == "csv":
+            print(CSV_HEADER)
+        for identifier in targets:
+            _run_one(
+                identifier,
+                settings,
+                args.output_format,
+                store=store,
+                use_cache=not args.no_cache,
+            )
+        return 0
+
+    # study_command == "compare"
+    targets = [args.study_a, args.study_b]
+    settings = _validated_settings(parser, args, targets)
+    if settings is None:
+        return 2
+    outcomes = {}
     for identifier in targets:
-        _run_one(identifier, settings, args.output_format)
+        print(f"== {identifier}: {get_study(identifier).description}")
+        outcomes[identifier] = get_study(identifier).run(settings, store=store)
+        print(f"-- {identifier}: {outcomes[identifier].report.summary()}")
+    comparison = outcomes[args.study_a].results.compare(
+        outcomes[args.study_b].results,
+        title=f"study compare: A = {args.study_a}, B = {args.study_b}",
+    )
+    print(comparison)
     return 0
 
 

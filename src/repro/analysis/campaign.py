@@ -58,16 +58,27 @@ class CampaignResult:
         return sum(self.execution_times) / len(self.execution_times)
 
     def miss_summary(self) -> Dict[str, float]:
-        """Average per-run miss counts (empty if detailed results were not kept)."""
+        """Average per-run miss counts and per-level miss rates.
+
+        Rates are normalised by the per-run memory accesses (``*_miss_rate``
+        keys), so they are comparable across workloads of different trace
+        lengths.  Empty if detailed run results were not kept.
+        """
         if not self.run_results:
             return {}
         n = len(self.run_results)
-        return {
+        summary = {
             "il1_misses": sum(r.il1_misses for r in self.run_results) / n,
             "dl1_misses": sum(r.dl1_misses for r in self.run_results) / n,
             "l2_misses": sum(r.l2_misses for r in self.run_results) / n,
             "memory_accesses": sum(r.memory_accesses for r in self.run_results) / n,
         }
+        accesses = summary["memory_accesses"]
+        for level in ("il1", "dl1", "l2"):
+            summary[f"{level}_miss_rate"] = (
+                summary[f"{level}_misses"] / accesses if accesses else 0.0
+            )
+        return summary
 
 
 def run_campaign(

@@ -6,6 +6,15 @@ The benchmark harnesses in ``benchmarks/`` call these drivers (timing them
 with pytest-benchmark) and print the formatted output, and
 ``EXPERIMENTS.md`` records paper-vs-measured values produced this way.
 
+Since the study subsystem landed, each driver is a thin wrapper over its
+registered study (:mod:`repro.study.library`): the scenario grid is
+declared there, planned/batched/executed by :mod:`repro.study.runner`, and
+folded back into the result dataclasses below.  The drivers keep their
+public signatures, and their ``format()`` output is byte-identical to the
+historical hand-coded loops (pinned by the golden tests in
+``tests/test_study.py``).  Call :func:`repro.study.run_study` directly to
+additionally reuse the on-disk result store.
+
 Experiment ids (see DESIGN.md):
 
 * ``table1`` — ASIC and FPGA implementation results.
@@ -26,22 +35,10 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cache.hierarchy import HierarchyConfig
-from ..core.placement import PlacementGeometry
-from ..cpu.trace import Trace
-from ..hardware import (
-    FpgaDevice,
-    integrate_on_fpga,
-    hrp_module_cost,
-    rm_module_cost,
-)
-from ..mbpta.evt import empirical_ccdf
-from ..mbpta.protocol import MbptaConfig, MbptaResult, apply_mbpta
+from ..hardware import FpgaDevice
+from ..mbpta.protocol import MbptaConfig
 from ..platform.leon3 import Leon3Parameters, platform_setup
-from ..workloads.base import MemoryLayout
-from ..workloads.eembc import EembcLayoutTraceBuilder, eembc_kernel_names, eembc_trace
-from ..workloads.synthetic import SYNTHETIC_FOOTPRINTS, synthetic_vector_trace
-from .campaign import CampaignResult, run_campaign, run_layout_campaign
-from .hwm import industrial_bound
+from ..workloads.synthetic import SYNTHETIC_FOOTPRINTS
 from .report import format_ccdf, format_histogram, format_table
 
 __all__ = [
@@ -126,32 +123,18 @@ class ExperimentSettings:
         return platform_setup(name, parameters=self.parameters)
 
 
-def _mbpta_for(
-    campaign: CampaignResult, settings: ExperimentSettings
-) -> MbptaResult:
-    config = replace(
-        settings.mbpta,
-        exceedance_probabilities=(settings.secondary_cutoff, settings.cutoff),
-    )
-    return apply_mbpta(campaign.execution_times, config=config)
+def settings_margin(settings: ExperimentSettings) -> float:
+    """Engineering margin used for the industrial bound (20 % in the paper)."""
+    return 0.20
 
 
-def _benchmark_campaign(
-    benchmark: str,
-    setup: str,
-    settings: ExperimentSettings,
-    seed_offset: int = 0,
-) -> CampaignResult:
-    trace = eembc_trace(benchmark, scale=settings.scale)
-    return run_campaign(
-        trace,
-        settings.setup(setup),
-        runs=settings.runs,
-        master_seed=settings.master_seed + seed_offset,
-        setup=setup,
-        engine=settings.engine,
-        jobs=settings.jobs,
-    )
+def _run_registered_study(name: str, settings: Optional[ExperimentSettings], **params):
+    """Run a registered study without the result store (legacy behaviour)."""
+    # Imported lazily: repro.study's built-in library imports the result
+    # dataclasses from this module.
+    from ..study import run_study
+
+    return run_study(name, settings or ExperimentSettings(), **params).result
 
 
 # ---------------------------------------------------------------------------
@@ -206,25 +189,8 @@ def experiment_table1(
     device: Optional[FpgaDevice] = None,
 ) -> Table1Result:
     """Reproduce Table 1 for a cache with ``num_sets`` sets."""
-    geometry = PlacementGeometry(num_sets=num_sets, line_size=line_size)
-    hrp = hrp_module_cost(geometry)
-    rm = rm_module_cost(geometry)
-    fpga_hrp = integrate_on_fpga(hrp, device=device)
-    fpga_rm = integrate_on_fpga(rm, device=device)
-    baseline = device or FpgaDevice()
-    fpga = {
-        "baseline": {
-            "occupancy_percent": round(baseline.baseline_occupancy * 100, 1),
-            "frequency_mhz": baseline.baseline_frequency_mhz,
-        },
-        "RM": fpga_rm.as_dict(),
-        "hRP": fpga_hrp.as_dict(),
-    }
-    return Table1Result(
-        asic={"RM": rm.as_dict(), "hRP": hrp.as_dict()},
-        fpga=fpga,
-        area_ratio=hrp.logic_area_um2 / rm.logic_area_um2,
-        delay_reduction=1.0 - rm.delay_ns / hrp.delay_ns,
+    return _run_registered_study(
+        "table1", None, num_sets=num_sets, line_size=line_size, device=device
     )
 
 
@@ -267,24 +233,7 @@ class Table2Result:
 
 def experiment_table2(settings: Optional[ExperimentSettings] = None) -> Table2Result:
     """Run every EEMBC stand-in under the RM setup and apply the i.i.d. tests."""
-    settings = settings or ExperimentSettings()
-    rows: Dict[str, Dict[str, float]] = {}
-    for offset, benchmark in enumerate(eembc_kernel_names()):
-        campaign = _benchmark_campaign(benchmark, "rm", settings, seed_offset=offset)
-        result = _mbpta_for(campaign, settings)
-        assessment = result.assessment
-        rows[benchmark] = {
-            "ww": assessment.independence.statistic,
-            "ks": assessment.identical_distribution.p_value,
-            "et": assessment.gumbel_convergence.statistic,
-            # Table 2 of the paper reports the WW and KS outcomes; the ET
-            # statistic is kept as an informative extra column.
-            "passed": float(
-                assessment.independence.passed
-                and assessment.identical_distribution.passed
-            ),
-        }
-    return Table2Result(rows=rows)
+    return _run_registered_study("table2", settings)
 
 
 # ---------------------------------------------------------------------------
@@ -319,17 +268,7 @@ def experiment_fig1(
     benchmark: str = "a2time",
 ) -> Fig1Result:
     """Produce the empirical CCDF and its EVT projection for one benchmark."""
-    settings = settings or ExperimentSettings()
-    campaign = _benchmark_campaign(benchmark, "rm", settings)
-    result = _mbpta_for(campaign, settings)
-    projected = result.curve.ccdf_points(min_probability=1e-16, points_per_decade=1)
-    cutoffs = (1e-3, 1e-6, 1e-9, settings.secondary_cutoff, settings.cutoff)
-    return Fig1Result(
-        benchmark=benchmark,
-        empirical=empirical_ccdf(campaign.execution_times),
-        projected=projected,
-        pwcet={probability: result.pwcet_at(probability) for probability in cutoffs},
-    )
+    return _run_registered_study("fig1", settings, benchmark=benchmark)
 
 
 # ---------------------------------------------------------------------------
@@ -389,27 +328,7 @@ class Fig4aResult:
 
 def experiment_fig4a(settings: Optional[ExperimentSettings] = None) -> Fig4aResult:
     """pWCET of RM vs hRP for every EEMBC stand-in."""
-    settings = settings or ExperimentSettings()
-    rows: Dict[str, Dict[str, float]] = {}
-    for offset, benchmark in enumerate(eembc_kernel_names()):
-        rm_campaign = _benchmark_campaign(benchmark, "rm", settings, seed_offset=offset)
-        hrp_campaign = _benchmark_campaign(
-            benchmark, "hrp", settings, seed_offset=offset + 1000
-        )
-        rm_result = _mbpta_for(rm_campaign, settings)
-        hrp_result = _mbpta_for(hrp_campaign, settings)
-        pwcet_rm = rm_result.pwcet_at(settings.cutoff)
-        pwcet_hrp = hrp_result.pwcet_at(settings.cutoff)
-        rows[benchmark] = {
-            "pwcet_rm": pwcet_rm,
-            "pwcet_hrp": pwcet_hrp,
-            "ratio": pwcet_rm / pwcet_hrp,
-            "pwcet_rm_secondary": rm_result.pwcet_at(settings.secondary_cutoff),
-            "pwcet_hrp_secondary": hrp_result.pwcet_at(settings.secondary_cutoff),
-        }
-    return Fig4aResult(
-        rows=rows, cutoff=settings.cutoff, secondary_cutoff=settings.secondary_cutoff
-    )
+    return _run_registered_study("fig4a", settings)
 
 
 # ---------------------------------------------------------------------------
@@ -461,36 +380,7 @@ class Fig4bResult:
 
 def experiment_fig4b(settings: Optional[ExperimentSettings] = None) -> Fig4bResult:
     """RM pWCET compared with the HWM of the deterministic (modulo) setup."""
-    settings = settings or ExperimentSettings()
-    layout_runs = max(min(settings.runs, 200), 20)
-    rows: Dict[str, Dict[str, float]] = {}
-    for offset, benchmark in enumerate(eembc_kernel_names()):
-        rm_campaign = _benchmark_campaign(benchmark, "rm", settings, seed_offset=offset)
-        rm_result = _mbpta_for(rm_campaign, settings)
-        pwcet_rm = rm_result.pwcet_at(settings.cutoff)
-
-        deterministic = run_layout_campaign(
-            EembcLayoutTraceBuilder(benchmark, scale=settings.scale),
-            settings.setup("modulo"),
-            runs=layout_runs,
-            master_seed=settings.master_seed + 5000 + offset,
-            setup="modulo",
-            engine=settings.engine,
-            jobs=settings.jobs,
-        )
-        bound = industrial_bound(deterministic.execution_times, settings_margin(settings))
-        rows[benchmark] = {
-            "pwcet_rm": pwcet_rm,
-            "det_hwm": bound.hwm,
-            "pwcet_over_hwm": bound.pwcet_ratio(pwcet_rm),
-            "within_margin": float(bound.within_margin(pwcet_rm)),
-        }
-    return Fig4bResult(rows=rows, cutoff=settings.cutoff)
-
-
-def settings_margin(settings: ExperimentSettings) -> float:
-    """Engineering margin used for the industrial bound (20 % in the paper)."""
-    return 0.20
+    return _run_registered_study("fig4b", settings)
 
 
 # ---------------------------------------------------------------------------
@@ -546,33 +436,12 @@ def experiment_fig5(
     the trace length of the pure-Python simulation; the relative behaviour
     of the placement policies does not depend on it.
     """
-    settings = settings or ExperimentSettings()
-    trace = synthetic_vector_trace(footprint_bytes, iterations=iterations)
-    samples: Dict[str, List[int]] = {}
-    pwcet: Dict[str, Dict[float, float]] = {}
-    curves: Dict[str, List[Tuple[float, float]]] = {}
-    for setup in setups:
-        campaign = run_campaign(
-            trace,
-            settings.setup(setup),
-            runs=settings.runs,
-            master_seed=settings.master_seed,
-            setup=setup,
-            engine=settings.engine,
-            jobs=settings.jobs,
-        )
-        result = _mbpta_for(campaign, settings)
-        samples[setup] = campaign.execution_times
-        pwcet[setup] = {
-            settings.secondary_cutoff: result.pwcet_at(settings.secondary_cutoff),
-            settings.cutoff: result.pwcet_at(settings.cutoff),
-        }
-        curves[setup] = result.curve.ccdf_points(min_probability=1e-16, points_per_decade=1)
-    return Fig5Result(
+    return _run_registered_study(
+        "fig5",
+        settings,
         footprint_bytes=footprint_bytes,
-        samples=samples,
-        pwcet=pwcet,
-        curves=curves,
+        iterations=iterations,
+        setups=setups,
     )
 
 
@@ -623,28 +492,7 @@ def experiment_avg_performance(
     settings: Optional[ExperimentSettings] = None,
 ) -> AveragePerformanceResult:
     """Mean execution time of RM versus modulo placement per benchmark."""
-    settings = settings or ExperimentSettings()
-    rows: Dict[str, Dict[str, float]] = {}
-    for offset, benchmark in enumerate(eembc_kernel_names()):
-        rm_campaign = _benchmark_campaign(benchmark, "rm", settings, seed_offset=offset)
-        trace = eembc_trace(benchmark, scale=settings.scale)
-        modulo_campaign = run_campaign(
-            trace,
-            settings.setup("modulo"),
-            runs=1,
-            master_seed=settings.master_seed,
-            setup="modulo",
-            engine=settings.engine,
-            jobs=settings.jobs,
-        )
-        modulo_mean = modulo_campaign.mean
-        rm_mean = rm_campaign.mean
-        rows[benchmark] = {
-            "modulo_mean": modulo_mean,
-            "rm_mean": rm_mean,
-            "degradation": rm_mean / modulo_mean - 1.0,
-        }
-    return AveragePerformanceResult(rows=rows)
+    return _run_registered_study("avg_perf", settings)
 
 
 # ---------------------------------------------------------------------------
@@ -683,27 +531,9 @@ def experiment_footprint_ablation(
     iterations: int = 8,
 ) -> FootprintAblationResult:
     """Sweep the synthetic kernel footprint and compare RM with hRP."""
-    settings = settings or ExperimentSettings()
-    rows: List[Dict[str, float]] = []
-    for footprint in footprints:
-        trace = synthetic_vector_trace(footprint, iterations=iterations)
-        row: Dict[str, float] = {"footprint_bytes": float(footprint)}
-        for setup in ("rm", "hrp"):
-            campaign = run_campaign(
-                trace,
-                settings.setup(setup),
-                runs=settings.runs,
-                master_seed=settings.master_seed,
-                setup=setup,
-                engine=settings.engine,
-                jobs=settings.jobs,
-            )
-            result = _mbpta_for(campaign, settings)
-            row[f"{setup}_mean"] = campaign.mean
-            row[f"{setup}_pwcet"] = result.pwcet_at(settings.cutoff)
-        row["pwcet_ratio"] = row["rm_pwcet"] / row["hrp_pwcet"]
-        rows.append(row)
-    return FootprintAblationResult(rows=rows, cutoff=settings.cutoff)
+    return _run_registered_study(
+        "ablation_seg", settings, footprints=footprints, iterations=iterations
+    )
 
 
 @dataclass
@@ -735,37 +565,4 @@ def experiment_replacement_ablation(
     benchmark: str = "tblook",
 ) -> ReplacementAblationResult:
     """Compare random and LRU replacement under RM and hRP placement."""
-    from ..platform.leon3 import leon3_hierarchy
-
-    settings = settings or ExperimentSettings()
-    trace = eembc_trace(benchmark, scale=settings.scale)
-    configurations = {
-        "rm + random": ("rm", "random"),
-        "rm + lru": ("rm", "lru"),
-        "hrp + random": ("hrp", "random"),
-        "hrp + lru": ("hrp", "lru"),
-    }
-    rows: Dict[str, Dict[str, float]] = {}
-    for label, (placement, replacement) in configurations.items():
-        config = leon3_hierarchy(
-            l1_placement=placement,
-            l2_placement="hrp",
-            l1_replacement=replacement,
-            parameters=settings.parameters,
-        )
-        campaign = run_campaign(
-            trace,
-            config,
-            runs=settings.runs,
-            master_seed=settings.master_seed,
-            setup=label,
-            engine=settings.engine,
-            jobs=settings.jobs,
-        )
-        result = _mbpta_for(campaign, settings)
-        rows[label] = {
-            "mean": campaign.mean,
-            "hwm": float(campaign.high_water_mark),
-            "pwcet": result.pwcet_at(settings.cutoff),
-        }
-    return ReplacementAblationResult(rows=rows, cutoff=settings.cutoff)
+    return _run_registered_study("ablation_repl", settings, benchmark=benchmark)

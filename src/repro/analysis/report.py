@@ -151,25 +151,43 @@ def flatten_result(data: object, prefix: str = "") -> List[Tuple[str, object]]:
     return [(prefix, data)]
 
 
-def render_result(identifier: str, result: object, fmt: str = "text") -> str:
+def render_result(
+    identifier: str,
+    result: object,
+    fmt: str = "text",
+    miss_rates: Dict[str, Dict[str, float]] | None = None,
+) -> str:
     """Render one experiment result in the requested format.
 
     ``text`` uses the result's paper-style ``format()`` rendering; ``json``
     returns one self-identifying JSON object; ``csv`` returns
     ``experiment,key,value`` rows (without the :data:`CSV_HEADER` line, so
     multi-experiment runs can share a single header).
+
+    ``miss_rates`` optionally carries per-scenario cache miss summaries
+    (scenario label -> :meth:`repro.analysis.campaign.CampaignResult.miss_summary`
+    data).  The machine-readable formats include them — ``json`` under a
+    top-level ``"miss_rates"`` key, ``csv`` as ``miss_rates.<scenario>.<metric>``
+    rows — while ``text`` ignores them so the paper-style tables stay
+    byte-identical.
     """
     if fmt == "text":
         return result.format()  # type: ignore[attr-defined]
     if fmt == "json":
-        return json.dumps(
-            {"experiment": identifier, "result": result_to_data(result)},
-            sort_keys=True,
-        )
+        payload: Dict[str, object] = {
+            "experiment": identifier,
+            "result": result_to_data(result),
+        }
+        if miss_rates:
+            payload["miss_rates"] = result_to_data(miss_rates)
+        return json.dumps(payload, sort_keys=True)
     if fmt == "csv":
         buffer = io.StringIO()
         writer = csv.writer(buffer, lineterminator="\n")
         for key, value in flatten_result(result_to_data(result)):
             writer.writerow([identifier, key, value])
+        if miss_rates:
+            for key, value in flatten_result(result_to_data(miss_rates), "miss_rates"):
+                writer.writerow([identifier, key, value])
         return buffer.getvalue().rstrip("\n")
     raise ValueError(f"unknown format {fmt!r}; expected one of {RESULT_FORMATS}")

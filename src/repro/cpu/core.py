@@ -108,11 +108,23 @@ class TraceDrivenCore:
         config: HierarchyConfig,
         trace: Trace,
         timing: ExecutionTimingModel = ExecutionTimingModel(),
+        compiled: CompiledTrace | None = None,
     ) -> None:
+        """``compiled`` optionally injects an already-compiled trace.
+
+        Trace compilation only depends on the L1 line size, so callers
+        replaying one workload on several hierarchies (the study runner)
+        compile once and share; a line-size mismatch is rejected.
+        """
+        if compiled is not None and compiled.line_size != config.il1.line_size:
+            raise ValueError(
+                f"compiled trace has line size {compiled.line_size}, "
+                f"hierarchy expects {config.il1.line_size}"
+            )
         self.config = config
         self.trace = trace
         self.timing = timing
-        self._compiled: CompiledTrace | None = None
+        self._compiled: CompiledTrace | None = compiled
         self._simulators: Dict[str, EngineSimulator] = {}
         self._overhead_cycles = timing_overhead_cycles(trace, timing)
 

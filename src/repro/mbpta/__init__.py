@@ -10,6 +10,7 @@ from .evt import (
 )
 from .protocol import (
     DEFAULT_EXCEEDANCE_PROBABILITIES,
+    MBPTA_MIN_RUNS,
     MbptaConfig,
     MbptaResult,
     apply_mbpta,
@@ -32,6 +33,7 @@ __all__ = [
     "empirical_ccdf",
     "fit_gumbel",
     "DEFAULT_EXCEEDANCE_PROBABILITIES",
+    "MBPTA_MIN_RUNS",
     "MbptaConfig",
     "MbptaResult",
     "apply_mbpta",

@@ -14,7 +14,19 @@ from typing import Dict, Optional, Sequence, Tuple
 from .evt import GumbelFit, PWcetCurve, fit_gumbel
 from .tests import IidAssessment, iid_assessment
 
-__all__ = ["MbptaConfig", "MbptaResult", "apply_mbpta", "DEFAULT_EXCEEDANCE_PROBABILITIES"]
+__all__ = [
+    "MBPTA_MIN_RUNS",
+    "MbptaConfig",
+    "MbptaResult",
+    "apply_mbpta",
+    "DEFAULT_EXCEEDANCE_PROBABILITIES",
+]
+
+#: Minimum number of measurement runs the protocol accepts.  Below this the
+#: i.i.d. admission tests and the block-maxima Gumbel fit are meaningless.
+#: The CLI validates requested campaign sizes against this bound up front so
+#: users get a one-line error instead of a deep traceback.
+MBPTA_MIN_RUNS = 20
 
 #: Cutoff probabilities highlighted by the paper: 1e-12 for high criticality
 #: levels and 1e-15 for the highest ones in automotive/avionics.
@@ -112,9 +124,9 @@ def apply_mbpta(
         outcome in the result and continues, which is what the evaluation
         scripts need when they *compare* compliant and non-compliant setups.
     """
-    if len(samples) < 20:
+    if len(samples) < MBPTA_MIN_RUNS:
         raise ValueError(
-            f"MBPTA needs a reasonable number of measurements, got {len(samples)}"
+            f"MBPTA needs at least {MBPTA_MIN_RUNS} measurements, got {len(samples)}"
         )
     config = config or MbptaConfig()
     assessment = iid_assessment(samples, config.significance)

@@ -1,0 +1,207 @@
+"""Executed scenarios, queryable.
+
+A :class:`ResultSet` maps scenario labels to :class:`ScenarioOutcome`
+objects — the campaign, where it came from (simulation or the result
+store), the per-level miss summary, and a lazily computed MBPTA result.
+The generic views :meth:`ResultSet.table`, :meth:`ResultSet.ccdf` and
+:meth:`ResultSet.compare` replace the per-driver formatting loops: any
+study (including user-registered ones) gets summary tables, CCDF series
+and cross-result-set comparisons without writing formatting code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..analysis.campaign import CampaignResult
+from ..analysis.report import format_table
+from ..mbpta.evt import empirical_ccdf
+from ..mbpta.protocol import MBPTA_MIN_RUNS, MbptaResult, apply_mbpta
+from .scenario import Scenario
+
+__all__ = ["ScenarioOutcome", "ExecutionReport", "ResultSet"]
+
+
+@dataclass
+class ExecutionReport:
+    """How a plan's scenarios were resolved.
+
+    ``planned`` counts **unique** scenario specs: scenarios whose spec hash
+    coincides are one unit of work, so ``cache_hits + simulated == planned``
+    always holds and a warm re-run of a plan containing duplicates still
+    reports a full cache hit.
+    """
+
+    planned: int = 0
+    cache_hits: int = 0
+    simulated: int = 0
+    stored: int = 0
+    batches: int = 0
+
+    @property
+    def full_cache_hit(self) -> bool:
+        """True when every planned scenario came from the result store."""
+        return self.planned > 0 and self.cache_hits == self.planned
+
+    def summary(self) -> str:
+        """One human-readable line (printed by ``python -m repro study run``)."""
+        if self.planned == 0:
+            return "no measurement campaigns (analytical study)"
+        if self.full_cache_hit:
+            return (
+                f"resolved {self.cache_hits}/{self.planned} scenarios from the "
+                "result store (full cache hit)"
+            )
+        return (
+            f"simulated {self.simulated} of {self.planned} scenarios "
+            f"({self.cache_hits} from the result store, {self.batches} engine "
+            f"batches, {self.stored} new results stored)"
+        )
+
+
+@dataclass
+class ScenarioOutcome:
+    """One executed scenario: its campaign plus provenance and analysis."""
+
+    scenario: Scenario
+    campaign: CampaignResult
+    from_cache: bool = False
+    miss_summary: Dict[str, float] = field(default_factory=dict)
+    _mbpta: Optional[MbptaResult] = field(default=None, repr=False, compare=False)
+
+    @property
+    def label(self) -> str:
+        return self.scenario.display_label
+
+    def mbpta(self) -> MbptaResult:
+        """The scenario's MBPTA result (computed on first use, then cached)."""
+        if self._mbpta is None:
+            self._mbpta = apply_mbpta(
+                self.campaign.execution_times, config=self.scenario.mbpta
+            )
+        return self._mbpta
+
+
+class ResultSet:
+    """Label-addressable outcomes of one executed plan."""
+
+    def __init__(
+        self,
+        outcomes: Sequence[ScenarioOutcome],
+        report: Optional[ExecutionReport] = None,
+    ) -> None:
+        self._outcomes: Dict[str, ScenarioOutcome] = {}
+        for outcome in outcomes:
+            label = outcome.label
+            if label in self._outcomes:
+                raise ValueError(
+                    f"duplicate scenario label {label!r}; give the scenarios "
+                    "distinct 'label' fields"
+                )
+            self._outcomes[label] = outcome
+        self.report = report or ExecutionReport(planned=len(self._outcomes))
+
+    # ------------------------------------------------------------- accessors
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+    def __iter__(self) -> Iterator[ScenarioOutcome]:
+        return iter(self._outcomes.values())
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._outcomes
+
+    def __getitem__(self, label: str) -> ScenarioOutcome:
+        try:
+            return self._outcomes[label]
+        except KeyError:
+            known = ", ".join(self.labels()) or "<none>"
+            raise KeyError(
+                f"no scenario labelled {label!r}; known labels: {known}"
+            ) from None
+
+    def labels(self) -> List[str]:
+        """Scenario labels in plan order."""
+        return list(self._outcomes)
+
+    def campaign(self, label: str) -> CampaignResult:
+        return self[label].campaign
+
+    def mbpta(self, label: str) -> MbptaResult:
+        return self[label].mbpta()
+
+    # ----------------------------------------------------------------- views
+
+    def table(self, cutoffs: Sequence[float] = (), title: str = "") -> str:
+        """An aligned summary table: one row per scenario.
+
+        ``cutoffs`` adds one pWCET column per exceedance probability
+        (scenarios with fewer than the MBPTA minimum of runs show ``-``).
+        """
+        headers = ["scenario", "runs", "mean", "hwm", "source"]
+        headers[4:4] = [f"pWCET@{cutoff:g}" for cutoff in cutoffs]
+        rows = []
+        for outcome in self:
+            campaign = outcome.campaign
+            row: List[object] = [
+                outcome.label,
+                campaign.runs,
+                f"{campaign.mean:,.0f}",
+                f"{campaign.high_water_mark:,}",
+            ]
+            for cutoff in cutoffs:
+                if campaign.runs >= MBPTA_MIN_RUNS:
+                    row.append(f"{outcome.mbpta().pwcet_at(cutoff):,.0f}")
+                else:
+                    row.append("-")
+            row.append("store" if outcome.from_cache else "simulated")
+            rows.append(row)
+        return format_table(headers, rows, title=title)
+
+    def ccdf(self, label: str) -> List[Tuple[float, float]]:
+        """The empirical CCDF of one scenario's execution times."""
+        return empirical_ccdf(self.campaign(label).execution_times)
+
+    def compare(self, other: "ResultSet", title: str = "") -> str:
+        """Compare scenarios sharing a label between two result sets.
+
+        Rows report the mean and high-water mark of both sides plus their
+        ratios — the shape the paper's RM-versus-hRP comparisons use.
+        """
+        shared = [label for label in self.labels() if label in other]
+        if not shared:
+            return (
+                "no overlapping scenario labels between the two result sets\n"
+                f"left:  {', '.join(self.labels()) or '<none>'}\n"
+                f"right: {', '.join(other.labels()) or '<none>'}"
+            )
+        rows = []
+        for label in shared:
+            a = self.campaign(label)
+            b = other.campaign(label)
+            rows.append(
+                (
+                    label,
+                    f"{a.mean:,.0f}",
+                    f"{b.mean:,.0f}",
+                    f"{b.mean / a.mean:.3f}",
+                    f"{a.high_water_mark:,}",
+                    f"{b.high_water_mark:,}",
+                    f"{b.high_water_mark / a.high_water_mark:.3f}",
+                )
+            )
+        return format_table(
+            ["scenario", "mean A", "mean B", "B/A", "hwm A", "hwm B", "B/A"],
+            rows,
+            title=title,
+        )
+
+    def miss_rates(self) -> Dict[str, Dict[str, float]]:
+        """Per-scenario miss summaries (scenarios without detail are omitted)."""
+        return {
+            outcome.label: dict(outcome.miss_summary)
+            for outcome in self
+            if outcome.miss_summary
+        }

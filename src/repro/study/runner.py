@@ -1,0 +1,227 @@
+"""Plan execution: deduplicate, resolve from the store, batch, simulate.
+
+The runner turns a list of :class:`~repro.study.scenario.Scenario` objects
+into a :class:`~repro.study.resultset.ResultSet` in four steps:
+
+1. **Deduplicate** — scenarios with the same spec hash are simulated once
+   and share their campaign.
+2. **Resolve** — with a :class:`~repro.study.store.ResultStore`, any
+   scenario whose spec hash is already stored is loaded instead of
+   simulated.
+3. **Batch** — remaining scenarios are grouped by workload (the trace is
+   built and compiled once per group — compilation only depends on the L1
+   line size) and, within a workload, by hierarchy and engine.  Scenarios
+   sharing a (trace, hierarchy, engine) triple have their per-run seed
+   lists concatenated into a **single** ``run_batch`` call, so a batch
+   engine such as ``numpy`` simulates the whole sub-sweep as one array
+   program instead of once per scenario.
+4. **Execute and persist** — campaigns run through the existing
+   campaign/parallel/engine layers; fresh results (execution times plus the
+   per-level miss summary) are written back to the store.
+
+Every path is bit-exact with calling
+:func:`repro.analysis.campaign.run_campaign` once per scenario: batching
+only concatenates independent seed lists, and the engines guarantee
+identical results for identical seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.campaign import CampaignResult, run_campaign, run_layout_campaign
+from ..core.prng import derive_run_seeds
+from ..cpu.core import TraceDrivenCore
+from ..cache.fastsim import CompiledTrace
+from ..engine import get_engine
+from .resultset import ExecutionReport, ResultSet, ScenarioOutcome
+from .scenario import HierarchySpec, Scenario, WorkloadSpec
+from .store import ResultStore
+
+__all__ = ["execute_scenarios"]
+
+
+class _Executed:
+    """Campaign + provenance for one unique spec hash."""
+
+    __slots__ = ("campaign", "miss_summary", "from_cache")
+
+    def __init__(
+        self,
+        campaign: CampaignResult,
+        miss_summary: Dict[str, float],
+        from_cache: bool,
+    ) -> None:
+        self.campaign = campaign
+        self.miss_summary = miss_summary
+        self.from_cache = from_cache
+
+
+def _campaign_from_batch(scenario: Scenario, results) -> Tuple[CampaignResult, Dict[str, float]]:
+    """Assemble a campaign from wrapped batch results, extracting miss data."""
+    campaign = CampaignResult(
+        workload="",  # filled by caller
+        setup=scenario.display_label,
+        execution_times=[result.cycles for result in results],
+        run_results=list(results),
+        master_seed=scenario.effective_seed,
+    )
+    miss_summary = campaign.miss_summary()
+    campaign.run_results = []  # drop per-run detail; the summary is kept
+    return campaign, miss_summary
+
+
+def execute_scenarios(
+    scenarios: Sequence[Scenario],
+    store: Optional[ResultStore] = None,
+    use_cache: bool = True,
+) -> ResultSet:
+    """Execute a plan and return its :class:`ResultSet`.
+
+    ``store`` enables the on-disk cache: hits skip simulation entirely and
+    fresh results are persisted.  ``use_cache=False`` keeps writing results
+    but ignores existing entries (a forced refresh).
+    """
+    # ``planned`` counts unique specs: scenarios sharing a spec hash are one
+    # unit of work (simulated or cache-resolved once), however many labels
+    # they fan out to in the result set.
+    report = ExecutionReport()
+    resolved: Dict[str, _Executed] = {}
+    pending: List[Scenario] = []
+    pending_hashes = set()
+    for scenario in scenarios:
+        get_engine(scenario.engine)  # unknown engines fail before any work
+        spec_hash = scenario.spec_hash()
+        if spec_hash in resolved or spec_hash in pending_hashes:
+            continue
+        report.planned += 1
+        if store is not None and use_cache:
+            stored = store.load(spec_hash)
+            if stored is not None:
+                resolved[spec_hash] = _Executed(
+                    stored.campaign(), dict(stored.miss_summary), from_cache=True
+                )
+                report.cache_hits += 1
+                continue
+        pending.append(scenario)
+        pending_hashes.add(spec_hash)
+
+    _simulate(pending, resolved, store, report)
+
+    outcomes = []
+    for scenario in scenarios:
+        executed = resolved[scenario.spec_hash()]
+        outcomes.append(
+            ScenarioOutcome(
+                scenario=scenario,
+                campaign=executed.campaign,
+                from_cache=executed.from_cache,
+                miss_summary=dict(executed.miss_summary),
+            )
+        )
+    return ResultSet(outcomes, report=report)
+
+
+def _simulate(
+    pending: Sequence[Scenario],
+    resolved: Dict[str, _Executed],
+    store: Optional[ResultStore],
+    report: ExecutionReport,
+) -> None:
+    """Simulate unique scenarios, grouped for trace and batch sharing."""
+    by_workload: Dict[WorkloadSpec, List[Scenario]] = {}
+    for scenario in pending:
+        by_workload.setdefault(scenario.workload, []).append(scenario)
+
+    for workload, group in by_workload.items():
+        trace = None
+        compiled: Dict[int, CompiledTrace] = {}  # line size -> compiled trace
+        batchable: Dict[Tuple[HierarchySpec, str], List[Scenario]] = {}
+        for scenario in group:
+            if scenario.campaign == "layouts":
+                _run_layouts(workload, scenario, resolved, store, report)
+            elif scenario.jobs != 1:
+                # Parallel campaigns go through the process-pool executor
+                # one scenario at a time (workers already batch per chunk).
+                if trace is None:
+                    trace = workload.build_trace()
+                campaign = run_campaign(
+                    trace,
+                    scenario.hierarchy.config(),
+                    runs=scenario.runs,
+                    master_seed=scenario.effective_seed,
+                    setup=scenario.display_label,
+                    engine=scenario.engine,
+                    jobs=scenario.jobs,
+                    keep_run_results=True,
+                )
+                miss_summary = campaign.miss_summary()
+                campaign.run_results = []
+                _record(scenario, campaign, miss_summary, resolved, store, report)
+                report.batches += 1
+            else:
+                batchable.setdefault(
+                    (scenario.hierarchy, scenario.engine), []
+                ).append(scenario)
+
+        for (hierarchy, engine), subgroup in batchable.items():
+            if trace is None:
+                trace = workload.build_trace()
+            config = hierarchy.config()
+            line_size = config.il1.line_size
+            if line_size not in compiled:
+                compiled[line_size] = CompiledTrace(trace, line_size=line_size)
+            core = TraceDrivenCore(config, trace, compiled=compiled[line_size])
+            # One engine call for the whole sub-sweep: concatenate every
+            # scenario's seed list, simulate, then split back per scenario.
+            seed_lists = [
+                derive_run_seeds(scenario.effective_seed, scenario.runs)
+                for scenario in subgroup
+            ]
+            all_seeds = [seed for seeds in seed_lists for seed in seeds]
+            results = core.run_batch(all_seeds, engine=engine)
+            report.batches += 1
+            cursor = 0
+            for scenario, seeds in zip(subgroup, seed_lists):
+                chunk = results[cursor : cursor + len(seeds)]
+                cursor += len(seeds)
+                campaign, miss_summary = _campaign_from_batch(scenario, chunk)
+                campaign.workload = trace.name
+                _record(scenario, campaign, miss_summary, resolved, store, report)
+
+
+def _run_layouts(
+    workload: WorkloadSpec,
+    scenario: Scenario,
+    resolved: Dict[str, _Executed],
+    store: Optional[ResultStore],
+    report: ExecutionReport,
+) -> None:
+    """Execute one deterministic layout campaign (no cross-scenario batching)."""
+    campaign = run_layout_campaign(
+        workload.layout_builder(),
+        scenario.hierarchy.config(),
+        runs=scenario.runs,
+        master_seed=scenario.effective_seed,
+        setup=scenario.display_label,
+        engine=scenario.engine,
+        jobs=scenario.jobs,
+    )
+    # Layout campaigns do not keep per-run cache statistics.
+    _record(scenario, campaign, {}, resolved, store, report)
+    report.batches += 1
+
+
+def _record(
+    scenario: Scenario,
+    campaign: CampaignResult,
+    miss_summary: Dict[str, float],
+    resolved: Dict[str, _Executed],
+    store: Optional[ResultStore],
+    report: ExecutionReport,
+) -> None:
+    resolved[scenario.spec_hash()] = _Executed(campaign, miss_summary, from_cache=False)
+    report.simulated += 1
+    if store is not None:
+        store.save(scenario, campaign, miss_summary)
+        report.stored += 1

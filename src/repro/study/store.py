@@ -1,0 +1,139 @@
+"""Content-hash-keyed on-disk store for executed scenarios.
+
+Every executed scenario lands in one JSON file named by its spec hash
+(``results/store/<sha256>.json`` by default), containing the canonical spec
+(for inspectability), the campaign's execution times and the per-level miss
+summary.  Because the file name is the hash of everything that determines
+the simulation, a store lookup either returns the exact campaign the
+scenario would produce or nothing — there is no invalidation logic to get
+wrong.  Re-running a study therefore only simulates scenarios whose spec
+hash is new.
+
+The store is deliberately forgiving: unreadable, truncated or
+version-mismatched files are treated as cache misses (and overwritten by
+the next save), never as errors.  Saves are atomic (write to a temporary
+file, then :func:`os.replace`) so a killed run cannot leave a half-written
+entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..analysis.campaign import CampaignResult
+from .scenario import SPEC_VERSION, Scenario
+
+__all__ = ["DEFAULT_STORE_DIR", "StoredResult", "ResultStore"]
+
+#: Default store location, relative to the working directory.
+DEFAULT_STORE_DIR = os.path.join("results", "store")
+
+
+@dataclass
+class StoredResult:
+    """One persisted scenario execution."""
+
+    spec_hash: str
+    spec: Dict[str, object]
+    workload: str
+    setup: str
+    master_seed: int
+    execution_times: List[int]
+    miss_summary: Dict[str, float] = field(default_factory=dict)
+
+    def campaign(self) -> CampaignResult:
+        """Rebuild the campaign result (without per-run detail)."""
+        return CampaignResult(
+            workload=self.workload,
+            setup=self.setup,
+            execution_times=list(self.execution_times),
+            master_seed=self.master_seed,
+        )
+
+
+class ResultStore:
+    """A directory of ``<spec_hash>.json`` scenario results."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_STORE_DIR) -> None:
+        self.root = Path(root)
+
+    def path_for(self, spec_hash: str) -> Path:
+        return self.root / f"{spec_hash}.json"
+
+    def __contains__(self, spec_hash: str) -> bool:
+        return self.load(spec_hash) is not None
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def keys(self) -> List[str]:
+        """Spec hashes currently stored (sorted)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+    def load(self, spec_hash: str) -> Optional[StoredResult]:
+        """The stored result for ``spec_hash``, or ``None`` (never raises)."""
+        path = self.path_for(spec_hash)
+        try:
+            payload = json.loads(path.read_text())
+            if payload["version"] != SPEC_VERSION:
+                return None
+            execution_times = [int(value) for value in payload["execution_times"]]
+            result = StoredResult(
+                spec_hash=spec_hash,
+                spec=payload["spec"],
+                workload=str(payload["workload"]),
+                setup=str(payload["setup"]),
+                master_seed=int(payload["master_seed"]),
+                execution_times=execution_times,
+                miss_summary={
+                    str(key): float(value)
+                    for key, value in payload.get("miss_summary", {}).items()
+                },
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        if not result.execution_times:
+            return None
+        return result
+
+    def save(
+        self,
+        scenario: Scenario,
+        campaign: CampaignResult,
+        miss_summary: Optional[Dict[str, float]] = None,
+    ) -> Path:
+        """Persist one executed scenario atomically; returns the entry path."""
+        spec_hash = scenario.spec_hash()
+        payload = {
+            "version": SPEC_VERSION,
+            "spec": scenario.spec_dict(),
+            "workload": campaign.workload,
+            "setup": campaign.setup,
+            "master_seed": campaign.master_seed,
+            "execution_times": list(campaign.execution_times),
+            "miss_summary": dict(miss_summary or {}),
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(spec_hash)
+        temporary = path.with_suffix(".json.tmp")
+        temporary.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(temporary, path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every stored result; returns how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("*.json"):
+            path.unlink()
+            removed += 1
+        for path in self.root.glob("*.json.tmp"):
+            path.unlink()
+        return removed

@@ -1,0 +1,55 @@
+"""Regenerate the golden ``--format text`` outputs of the nine drivers.
+
+The goldens pin the byte-identical migration guarantee of the study
+subsystem: every driver's ``format()`` output at the settings below must
+stay stable across refactors.  Run from the repository root:
+
+    PYTHONPATH=src python tests/golden/generate.py
+"""
+from pathlib import Path
+
+from repro.analysis.experiments import (
+    ExperimentSettings,
+    experiment_avg_performance,
+    experiment_fig1,
+    experiment_fig4a,
+    experiment_fig4b,
+    experiment_fig5,
+    experiment_footprint_ablation,
+    experiment_replacement_ablation,
+    experiment_table1,
+    experiment_table2,
+)
+
+SMALL = ExperimentSettings(runs=40, scale=0.25)
+
+#: Experiment id -> zero-argument callable reproducing it at golden scale.
+GOLDEN_CASES = {
+    "table1": lambda: experiment_table1(),
+    "table2": lambda: experiment_table2(SMALL),
+    "fig1": lambda: experiment_fig1(SMALL, benchmark="a2time"),
+    "fig4a": lambda: experiment_fig4a(SMALL),
+    "fig4b": lambda: experiment_fig4b(SMALL),
+    "fig5": lambda: experiment_fig5(
+        SMALL, footprint_bytes=20 * 1024, iterations=3
+    ),
+    "avg_perf": lambda: experiment_avg_performance(SMALL),
+    "ablation_seg": lambda: experiment_footprint_ablation(
+        ExperimentSettings(runs=30), footprints=(4 * 1024, 20 * 1024), iterations=2
+    ),
+    "ablation_repl": lambda: experiment_replacement_ablation(
+        ExperimentSettings(runs=25, scale=0.25)
+    ),
+}
+
+
+def main() -> None:
+    golden_dir = Path(__file__).resolve().parent
+    for identifier, case in GOLDEN_CASES.items():
+        text = case().format()
+        (golden_dir / f"{identifier}.txt").write_text(text + "\n")
+        print(f"wrote {identifier}.txt ({len(text.splitlines())} lines)")
+
+
+if __name__ == "__main__":
+    main()

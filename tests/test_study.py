@@ -1,0 +1,576 @@
+"""Tests for the declarative scenario/study subsystem (``repro.study``).
+
+Covers Sweep expansion, spec-hash stability, the on-disk result store's
+hit/miss behaviour, batched execution equivalence, the ResultSet views, the
+``python -m repro study`` CLI surface, and — via the golden files in
+``tests/golden/`` — byte-identical equivalence of every legacy
+``experiment_*`` driver with its study reimplementation.
+
+Regenerate the goldens (only when an output change is intended) with::
+
+    PYTHONPATH=src python tests/golden/generate.py
+"""
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis.campaign import run_campaign
+from repro.analysis.experiments import ExperimentSettings
+from repro.mbpta.protocol import MbptaConfig
+from repro.study import (
+    HierarchySpec,
+    ResultStore,
+    Scenario,
+    Study,
+    Sweep,
+    WorkloadSpec,
+    available_studies,
+    execute_scenarios,
+    get_study,
+    register_study,
+    run_study,
+    unregister_study,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: The settings the goldens were generated with (tests/golden/generate.py).
+GOLDEN_SETTINGS = ExperimentSettings(runs=40, scale=0.25)
+
+
+def tiny_scenario(**overrides) -> Scenario:
+    """A fast synthetic scenario (~small trace, 24 runs)."""
+    defaults = dict(
+        workload=WorkloadSpec.synthetic(4 * 1024, iterations=2),
+        hierarchy=HierarchySpec.named("rm"),
+        runs=24,
+        master_seed=99,
+    )
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# Sweep expansion
+# ---------------------------------------------------------------------------
+
+class TestSweep:
+    def test_plain_value_axis_expands_in_order(self):
+        sweep = Sweep(base=tiny_scenario(), axes={"runs": [24, 32, 48]})
+        assert [s.runs for s in sweep.scenarios()] == [24, 32, 48]
+
+    def test_product_first_axis_varies_slowest(self):
+        sweep = Sweep(
+            base=tiny_scenario(),
+            axes={
+                "hierarchy": [HierarchySpec.named("rm"), HierarchySpec.named("hrp")],
+                "runs": [24, 32],
+            },
+        )
+        expanded = sweep.scenarios()
+        assert [(s.hierarchy.setup, s.runs) for s in expanded] == [
+            ("rm", 24), ("rm", 32), ("hrp", 24), ("hrp", 32),
+        ]
+
+    def test_mapping_values_override_several_fields(self):
+        sweep = Sweep(
+            base=tiny_scenario(),
+            axes={
+                "point": [
+                    {"runs": 32, "label": "small"},
+                    {"runs": 48, "label": "large"},
+                ]
+            },
+        )
+        expanded = sweep.scenarios()
+        assert [(s.runs, s.label) for s in expanded] == [(32, "small"), (48, "large")]
+
+    def test_seed_offsets_add_across_axes(self):
+        sweep = Sweep(
+            base=tiny_scenario(seed_offset=5),
+            axes={
+                "a": [{"seed_offset": 0}, {"seed_offset": 1}],
+                "b": [{"seed_offset": 0}, {"seed_offset": 1000}],
+            },
+        )
+        assert [s.seed_offset for s in sweep.scenarios()] == [5, 1005, 6, 1006]
+
+    def test_conflicting_field_overrides_rejected(self):
+        sweep = Sweep(
+            base=tiny_scenario(),
+            axes={"a": [{"runs": 32}], "b": [{"runs": 48}]},
+        )
+        with pytest.raises(ValueError, match="conflict.*runs"):
+            sweep.scenarios()
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            Sweep(base=tiny_scenario(), axes={"runs": []}).scenarios()
+
+
+# ---------------------------------------------------------------------------
+# Scenario validation and spec hashing
+# ---------------------------------------------------------------------------
+
+class TestScenarioSpec:
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(kind="quantum")
+        with pytest.raises(ValueError):
+            WorkloadSpec.synthetic(0, iterations=2)
+        with pytest.raises(ValueError):
+            tiny_scenario(runs=0)
+        with pytest.raises(ValueError):
+            tiny_scenario(campaign="moonphase")
+        with pytest.raises(ValueError):  # synthetic workloads have no layouts
+            tiny_scenario(campaign="layouts")
+
+    def test_hash_is_stable(self):
+        # Pinned literal: changing the canonical spec layout breaks every
+        # stored result, so it must be a deliberate SPEC_VERSION bump.
+        assert tiny_scenario().spec_hash() == (
+            "e1dc49841308ef04038a1c9cc76f1b43d793dd550a9e160b7aca4d74c3bd6093"
+        )
+
+    def test_execution_knobs_do_not_change_the_hash(self):
+        base = tiny_scenario()
+        assert base.spec_hash() == tiny_scenario(engine="numpy").spec_hash()
+        assert base.spec_hash() == tiny_scenario(jobs=4).spec_hash()
+        assert base.spec_hash() == tiny_scenario(label="renamed").spec_hash()
+        assert base.spec_hash() == tiny_scenario(
+            mbpta=MbptaConfig(block_size=10)
+        ).spec_hash()
+
+    def test_simulation_fields_change_the_hash(self):
+        base = tiny_scenario()
+        assert base.spec_hash() != tiny_scenario(runs=25).spec_hash()
+        assert base.spec_hash() != tiny_scenario(master_seed=100).spec_hash()
+        assert base.spec_hash() != tiny_scenario(
+            hierarchy=HierarchySpec.named("hrp")
+        ).spec_hash()
+        assert base.spec_hash() != tiny_scenario(
+            workload=WorkloadSpec.synthetic(8 * 1024, iterations=2)
+        ).spec_hash()
+
+    def test_offset_and_base_seed_hash_identically(self):
+        # Only the effective seed matters, not how it is split.
+        assert (
+            tiny_scenario(master_seed=90, seed_offset=9).spec_hash()
+            == tiny_scenario(master_seed=99).spec_hash()
+        )
+
+    def test_display_label_defaults_to_workload_and_hierarchy(self):
+        assert tiny_scenario().display_label == "synthetic_4KB/rm"
+        assert tiny_scenario(label="mine").display_label == "mine"
+
+    def test_sub_kb_footprints_get_distinct_labels(self):
+        # Floor-dividing to KB must not make distinct footprints collide.
+        assert WorkloadSpec.synthetic(1024, iterations=2).label == "synthetic_1KB"
+        assert WorkloadSpec.synthetic(1536, iterations=2).label == "synthetic_1536B"
+
+
+# ---------------------------------------------------------------------------
+# Result store
+# ---------------------------------------------------------------------------
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        scenario = tiny_scenario()
+        results = execute_scenarios([scenario], store=store)
+        assert len(store) == 1
+        stored = store.load(scenario.spec_hash())
+        assert stored is not None
+        assert stored.execution_times == results.campaign(
+            scenario.display_label
+        ).execution_times
+        assert stored.miss_summary["il1_miss_rate"] >= 0.0
+
+    def test_corrupt_entries_are_cache_misses(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        scenario = tiny_scenario()
+        execute_scenarios([scenario], store=store)
+        store.path_for(scenario.spec_hash()).write_text("{not json")
+        assert store.load(scenario.spec_hash()) is None
+        # ... and the runner transparently re-simulates and heals the entry.
+        results = execute_scenarios([scenario], store=store)
+        assert results.report.cache_hits == 0
+        assert store.load(scenario.spec_hash()) is not None
+
+    def test_clear_removes_entries(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        execute_scenarios([tiny_scenario()], store=store)
+        assert store.clear() == 1
+        assert store.keys() == []
+        assert store.clear() == 0  # idempotent, even without the directory
+
+
+# ---------------------------------------------------------------------------
+# Execution: caching, deduplication, batching
+# ---------------------------------------------------------------------------
+
+class TestExecution:
+    def test_second_execution_is_a_full_cache_hit(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        scenarios = [
+            tiny_scenario(),
+            tiny_scenario(hierarchy=HierarchySpec.named("hrp")),
+        ]
+        first = execute_scenarios(scenarios, store=store)
+        assert first.report.simulated == 2 and not first.report.full_cache_hit
+        second = execute_scenarios(scenarios, store=store)
+        assert second.report.full_cache_hit
+        assert "full cache hit" in second.report.summary()
+        for label in first.labels():
+            assert (
+                first.campaign(label).execution_times
+                == second.campaign(label).execution_times
+            )
+            assert second[label].from_cache
+
+    def test_use_cache_false_forces_resimulation(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        execute_scenarios([tiny_scenario()], store=store)
+        refreshed = execute_scenarios([tiny_scenario()], store=store, use_cache=False)
+        assert refreshed.report.cache_hits == 0
+        assert refreshed.report.simulated == 1
+
+    def test_identical_specs_are_deduplicated(self):
+        scenarios = [tiny_scenario(label="a"), tiny_scenario(label="b")]
+        results = execute_scenarios(scenarios)
+        assert len(results) == 2  # both labels present in the result set
+        assert results.report.planned == 1  # ... but one unit of work
+        assert results.report.simulated == 1
+        assert (
+            results.campaign("a").execution_times
+            == results.campaign("b").execution_times
+        )
+
+    def test_warm_rerun_with_duplicates_is_a_full_cache_hit(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        scenarios = [tiny_scenario(label="a"), tiny_scenario(label="b")]
+        execute_scenarios(scenarios, store=store)
+        warm = execute_scenarios(scenarios, store=store)
+        assert warm.report.full_cache_hit
+        assert warm.report.simulated == 0
+
+    def test_batched_execution_matches_run_campaign(self):
+        # Three scenarios share (workload, hierarchy, engine): the runner
+        # concatenates their seed lists into one engine batch.  The result
+        # must be bit-exact with one run_campaign call per scenario.
+        scenarios = [
+            tiny_scenario(master_seed=7, label="a"),
+            tiny_scenario(master_seed=1234, runs=30, label="b"),
+            tiny_scenario(master_seed=7, seed_offset=500, label="c"),
+        ]
+        results = execute_scenarios(scenarios)
+        assert results.report.batches == 1
+        trace = scenarios[0].workload.build_trace()
+        for scenario in scenarios:
+            expected = run_campaign(
+                trace,
+                scenario.hierarchy.config(),
+                runs=scenario.runs,
+                master_seed=scenario.effective_seed,
+            )
+            got = results.campaign(scenario.label)
+            assert got.execution_times == expected.execution_times
+
+    def test_unknown_engine_fails_before_any_simulation(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        with pytest.raises(ValueError, match="unknown engine"):
+            execute_scenarios([tiny_scenario(engine="warp")], store=store)
+        assert len(store) == 0
+
+
+# ---------------------------------------------------------------------------
+# ResultSet views
+# ---------------------------------------------------------------------------
+
+class TestResultSet:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return execute_scenarios(
+            [
+                tiny_scenario(label="rm"),
+                tiny_scenario(hierarchy=HierarchySpec.named("hrp"), label="hrp"),
+            ]
+        )
+
+    def test_table_lists_every_scenario(self, results):
+        table = results.table(cutoffs=(1e-12,), title="tiny sweep")
+        assert "tiny sweep" in table
+        assert "rm" in table and "hrp" in table
+        assert "pWCET@1e-12" in table
+        assert "simulated" in table
+
+    def test_ccdf_is_monotonic(self, results):
+        points = results.ccdf("rm")
+        probabilities = [probability for _, probability in points]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_compare_reports_shared_labels(self, results):
+        comparison = results.compare(results)
+        assert "rm" in comparison and "B/A" in comparison
+        assert "1.000" in comparison  # self-comparison: all ratios are 1
+
+    def test_compare_without_overlap_degrades_gracefully(self, results):
+        other = execute_scenarios([tiny_scenario(label="other")])
+        assert "no overlapping scenario labels" in results.compare(other)
+
+    def test_miss_rates_per_scenario(self, results):
+        rates = results.miss_rates()
+        assert set(rates) == {"rm", "hrp"}
+        for summary in rates.values():
+            assert 0.0 <= summary["il1_miss_rate"] <= 1.0
+            assert summary["memory_accesses"] > 0
+
+    def test_unknown_label_raises_with_known_labels(self, results):
+        with pytest.raises(KeyError, match="known labels"):
+            results.campaign("nope")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError, match="duplicate scenario label"):
+            execute_scenarios([tiny_scenario(), tiny_scenario(runs=25)])
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+class TestStudyRegistry:
+    def test_builtin_studies_registered(self):
+        assert set(available_studies()) >= {
+            "table1", "table2", "fig1", "fig4a", "fig4b",
+            "fig5", "avg_perf", "ablation_seg", "ablation_repl",
+        }
+
+    def test_unknown_study_lists_registered_names(self):
+        with pytest.raises(ValueError, match="registered studies"):
+            get_study("fig9")
+
+    def test_register_and_run_a_custom_study(self, tmp_path):
+        study = Study(
+            name="tiny_custom",
+            description="one tiny scenario",
+            planner=lambda settings: [tiny_scenario()],
+            builder=lambda context: context.results.table(),
+            min_runs=1,
+        )
+        try:
+            register_study(study)
+            with pytest.raises(ValueError, match="already registered"):
+                register_study(study)
+            outcome = run_study(
+                "tiny_custom",
+                ExperimentSettings(runs=24),
+                store=ResultStore(tmp_path / "store"),
+            )
+            assert "synthetic_4KB/rm" in outcome.result
+            assert outcome.report.simulated == 1
+        finally:
+            unregister_study("tiny_custom")
+
+
+# ---------------------------------------------------------------------------
+# Legacy driver equivalence (byte-identical --format text output)
+# ---------------------------------------------------------------------------
+
+def _golden(identifier: str) -> str:
+    return (GOLDEN_DIR / f"{identifier}.txt").read_text()
+
+
+class TestDriverEquivalence:
+    """Each legacy driver, now a study, renders byte-identical text."""
+
+    def test_table1(self):
+        from repro.analysis.experiments import experiment_table1
+
+        assert experiment_table1().format() + "\n" == _golden("table1")
+
+    def test_fig1(self):
+        from repro.analysis.experiments import experiment_fig1
+
+        result = experiment_fig1(GOLDEN_SETTINGS, benchmark="a2time")
+        assert result.format() + "\n" == _golden("fig1")
+
+    def test_fig5(self):
+        from repro.analysis.experiments import experiment_fig5
+
+        result = experiment_fig5(
+            GOLDEN_SETTINGS, footprint_bytes=20 * 1024, iterations=3
+        )
+        assert result.format() + "\n" == _golden("fig5")
+
+    def test_ablation_seg(self):
+        from repro.analysis.experiments import experiment_footprint_ablation
+
+        result = experiment_footprint_ablation(
+            ExperimentSettings(runs=30), footprints=(4 * 1024, 20 * 1024), iterations=2
+        )
+        assert result.format() + "\n" == _golden("ablation_seg")
+
+    def test_ablation_repl(self):
+        from repro.analysis.experiments import experiment_replacement_ablation
+
+        result = experiment_replacement_ablation(ExperimentSettings(runs=25, scale=0.25))
+        assert result.format() + "\n" == _golden("ablation_repl")
+
+    def test_ablation_seg_accepts_same_kb_bucket_footprints(self):
+        # Regression: 1024 and 1536 bytes both floor to "1KB"; the labels
+        # must still be distinct for the study to execute.
+        from repro.analysis.experiments import experiment_footprint_ablation
+
+        result = experiment_footprint_ablation(
+            ExperimentSettings(runs=20), footprints=(1024, 1536), iterations=2
+        )
+        assert len(result.rows) == 2
+
+    def test_study_path_with_store_is_also_byte_identical(self, tmp_path):
+        # The cached path must render the same bytes as the simulating path.
+        store = ResultStore(tmp_path / "store")
+        settings = GOLDEN_SETTINGS
+        first = run_study(
+            "fig5", settings, store=store, footprint_bytes=20 * 1024, iterations=3
+        )
+        second = run_study(
+            "fig5", settings, store=store, footprint_bytes=20 * 1024, iterations=3
+        )
+        assert second.report.full_cache_hit
+        assert first.result.format() == second.result.format()
+        assert first.result.format() + "\n" == _golden("fig5")
+
+
+@pytest.mark.slow
+class TestDriverEquivalenceFullSuite:
+    """The 11-benchmark sweeps, at the goldens' reduced scale."""
+
+    def test_table2(self):
+        from repro.analysis.experiments import experiment_table2
+
+        assert experiment_table2(GOLDEN_SETTINGS).format() + "\n" == _golden("table2")
+
+    def test_fig4a(self):
+        from repro.analysis.experiments import experiment_fig4a
+
+        assert experiment_fig4a(GOLDEN_SETTINGS).format() + "\n" == _golden("fig4a")
+
+    def test_fig4b(self):
+        from repro.analysis.experiments import experiment_fig4b
+
+        assert experiment_fig4b(GOLDEN_SETTINGS).format() + "\n" == _golden("fig4b")
+
+    def test_avg_perf(self):
+        from repro.analysis.experiments import experiment_avg_performance
+
+        result = experiment_avg_performance(GOLDEN_SETTINGS)
+        assert result.format() + "\n" == _golden("avg_perf")
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+class TestStudyCli:
+    def test_study_list(self, capsys):
+        assert main(["study", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("table1", "fig5", "ablation_repl"):
+            assert name in output
+
+    def test_study_run_reports_full_cache_hit_on_repeat(self, tmp_path, capsys):
+        argv = [
+            "study", "run", "fig5",
+            "--runs", "24", "--store", str(tmp_path / "store"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "new results stored" in first and "pWCET" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "resolved 2/2 scenarios from the result store (full cache hit)" in second
+        # Identical rendered tables from cache and simulation.
+        assert [l for l in first.splitlines() if "|" in l] == [
+            l for l in second.splitlines() if "|" in l
+        ]
+
+    def test_study_run_no_cache_resimulates(self, tmp_path, capsys):
+        argv = [
+            "study", "run", "fig5",
+            "--runs", "24", "--store", str(tmp_path / "store"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--no-cache"]) == 0
+        assert "full cache hit" not in capsys.readouterr().out
+
+    def test_study_clean(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["study", "run", "fig5", "--runs", "24", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["study", "clean", "--store", store]) == 0
+        assert "removed 2 stored result(s)" in capsys.readouterr().out
+        assert ResultStore(store).keys() == []
+
+    def test_study_compare_self_is_identity(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main([
+            "study", "compare", "fig5", "fig5", "--runs", "24", "--store", store,
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "study compare: A = fig5, B = fig5" in output
+        assert "1.000" in output
+
+    def test_runs_below_mbpta_minimum_is_one_line_error(self, capsys):
+        for argv in (
+            ["run", "fig5", "--runs", "8"],
+            ["study", "run", "fig5", "--runs", "8"],
+        ):
+            assert main(argv) == 2
+            captured = capsys.readouterr()
+            assert captured.out == ""
+            [line] = captured.err.splitlines()
+            assert "at least 20 measurement runs" in line and "fig5" in line
+
+    def test_runs_floor_ignores_non_mbpta_experiments(self, capsys):
+        assert main(["run", "table1", "--runs", "8"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+
+class TestMissRateEnrichment:
+    def test_json_round_trips_with_miss_rates(self, tmp_path, capsys):
+        argv = [
+            "study", "run", "fig5", "--runs", "24",
+            "--store", str(tmp_path / "store"), "--format", "json",
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "fig5"
+        assert set(payload["miss_rates"]) == {"rm", "hrp"}
+        for summary in payload["miss_rates"].values():
+            for key in ("il1_miss_rate", "dl1_miss_rate", "l2_miss_rate",
+                        "memory_accesses"):
+                assert key in summary
+        # A cache hit must serve the same enriched payload.
+        assert main(argv) == 0
+        assert json.loads(capsys.readouterr().out) == payload
+
+    def test_csv_includes_miss_rate_rows(self, tmp_path, capsys):
+        argv = [
+            "study", "run", "fig5", "--runs", "24",
+            "--store", str(tmp_path / "store"), "--format", "csv",
+        ]
+        assert main(argv) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "experiment,key,value"
+        assert any(line.startswith("fig5,miss_rates.rm.il1_miss_rate,") for line in lines)
+
+    def test_legacy_run_json_also_enriched(self, capsys):
+        assert main(["run", "fig1", "--runs", "24", "--scale", "0.25",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "a2time/rm" in payload["miss_rates"]
