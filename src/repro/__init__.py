@@ -13,8 +13,10 @@ The package is organised in layers (see DESIGN.md):
   ``reference``, and the vectorized ``numpy`` batch engine).
 * :mod:`repro.workloads` — EEMBC Automotive stand-ins and the synthetic
   vector kernel.
-* :mod:`repro.mbpta` — EVT/Gumbel fitting, i.i.d. admission tests and the
-  MBPTA protocol.
+* :mod:`repro.pwcet` — the pWCET analysis subsystem: EVT/Gumbel fitting,
+  i.i.d. admission tests, the estimator registry (``gumbel-pwm``,
+  ``gumbel-mle``, ``exponential-excess``) and the vectorized batch MBPTA
+  pipeline (:mod:`repro.mbpta` remains a compatibility alias).
 * :mod:`repro.hardware` — ASIC and FPGA cost models for the placement
   modules (Table 1).
 * :mod:`repro.analysis` — measurement campaigns and one driver per paper
@@ -64,7 +66,19 @@ from .core import (
 )
 from .cpu import Trace, TraceDrivenCore, assemble, run_program
 from .engine import available_engines, engine_capabilities, get_engine, register_engine
-from .mbpta import MbptaConfig, MbptaResult, apply_mbpta, fit_gumbel
+from .pwcet import (
+    Estimator,
+    MbptaConfig,
+    MbptaResult,
+    apply_mbpta,
+    apply_mbpta_batch,
+    available_estimators,
+    compare_estimators,
+    estimator_capabilities,
+    fit_gumbel,
+    get_estimator,
+    register_estimator,
+)
 from .platform import Leon3Parameters, leon3_hierarchy, platform_setup
 from .study import (
     HierarchySpec,
@@ -127,11 +141,18 @@ __all__ = [
     "engine_capabilities",
     "get_engine",
     "register_engine",
-    # mbpta
+    # pwcet
+    "Estimator",
     "MbptaConfig",
     "MbptaResult",
     "apply_mbpta",
+    "apply_mbpta_batch",
+    "available_estimators",
+    "compare_estimators",
+    "estimator_capabilities",
     "fit_gumbel",
+    "get_estimator",
+    "register_estimator",
     # platform
     "Leon3Parameters",
     "leon3_hierarchy",

@@ -18,6 +18,10 @@ Usage::
     python -m repro study compare fig5 fig5     # diff two executed studies
     python -m repro study clean                 # drop the result store
 
+    python -m repro run fig4a --estimator gumbel-mle
+    python -m repro pwcet list                  # registered pWCET estimators
+    python -m repro pwcet compare fig5 --runs 24  # all estimators side by side
+
 Each experiment id corresponds to one table/figure of the paper (see
 DESIGN.md's per-experiment index); both surfaces resolve ids through the
 study registry (:mod:`repro.study`).  ``run`` always simulates — the
@@ -28,7 +32,12 @@ re-simulated, so a repeated ``study run`` is a full cache hit.
 
 ``--engine`` accepts any registered simulation engine
 (:func:`repro.engine.available_engines`); all built-in engines are
-bit-exact, so the flag only changes wall-clock time.  ``--format`` selects
+bit-exact, so the flag only changes wall-clock time.  ``--estimator``
+accepts any registered pWCET estimator
+(:func:`repro.pwcet.available_estimators`); the default ``gumbel-pwm``
+reproduces the paper's protocol, and ``python -m repro pwcet compare``
+projects one experiment's campaigns through every estimator side by side
+(with the vectorized batch pipeline).  ``--format`` selects
 the output rendering: ``text`` (default, the same plain-text tables the
 benches print), ``json`` (one object per experiment, including per-scenario
 cache miss rates) or ``csv`` (``experiment,key,value`` rows) — with
@@ -47,7 +56,13 @@ from typing import Dict, Optional
 from .analysis.experiments import ExperimentSettings
 from .analysis.report import CSV_HEADER, RESULT_FORMATS, render_result
 from .engine import available_engines, get_engine
-from .mbpta.protocol import MBPTA_MIN_RUNS
+from .pwcet import (
+    MBPTA_MIN_RUNS,
+    MbptaConfig,
+    available_estimators,
+    estimator_capabilities,
+    get_estimator,
+)
 from .study import DEFAULT_STORE_DIR, ResultStore, available_studies, get_study
 
 #: Experiment id -> (description, driver taking ExperimentSettings).
@@ -83,6 +98,13 @@ def _add_campaign_arguments(
         default=None,
         help="simulation engine (all built-in engines are bit-exact; "
         "'numpy' vectorizes whole seed batches)",
+    )
+    parser.add_argument(
+        "--estimator",
+        choices=available_estimators(),
+        default=None,
+        help="pWCET estimator (default: the protocol's gumbel-pwm; "
+        "see 'python -m repro pwcet list')",
     )
     if include_format:
         parser.add_argument(
@@ -147,6 +169,35 @@ def build_parser() -> argparse.ArgumentParser:
     study_clean = study_commands.add_parser("clean", help="delete the result store")
     _add_store_argument(study_clean)
 
+    pwcet = subparsers.add_parser(
+        "pwcet", help="pWCET estimator registry and cross-estimator views"
+    )
+    pwcet_commands = pwcet.add_subparsers(dest="pwcet_command", required=True)
+
+    pwcet_commands.add_parser("list", help="list registered pWCET estimators")
+
+    pwcet_compare = pwcet_commands.add_parser(
+        "compare",
+        help="project one experiment's campaigns through several estimators",
+    )
+    pwcet_compare.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    _add_campaign_arguments(pwcet_compare)
+    _add_store_argument(pwcet_compare)
+    pwcet_compare.add_argument(
+        "--estimators",
+        nargs="+",
+        choices=available_estimators(),
+        default=None,
+        help="estimators to compare (default: all registered)",
+    )
+    pwcet_compare.add_argument(
+        "--bootstrap",
+        type=int,
+        default=0,
+        help="bootstrap resamples per campaign for pWCET confidence "
+        "intervals (0 disables)",
+    )
+
     return parser
 
 
@@ -162,6 +213,8 @@ def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
         settings = replace(settings, jobs=args.jobs)
     if args.engine is not None:
         settings = replace(settings, engine=args.engine)
+    if getattr(args, "estimator", None) is not None:
+        settings = replace(settings, estimator=args.estimator)
     return settings
 
 
@@ -203,6 +256,7 @@ def _run_one(
             outcome.result,
             output_format,
             miss_rates=outcome.results.miss_rates(),
+            analysis=outcome.results.analysis_summaries(settings.estimator),
         )
     )
     if store is not None:
@@ -212,6 +266,56 @@ def _run_one(
 
 def _resolve_targets(requested: str) -> list:
     return sorted(EXPERIMENTS) if requested == "all" else [requested]
+
+
+def _pwcet_command(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """The ``python -m repro pwcet {list,compare}`` surface."""
+    if args.pwcet_command == "list":
+        capabilities = estimator_capabilities()
+        width = max(len(name) for name in capabilities)
+        for name, flags in capabilities.items():
+            notes = []
+            notes.append("batched" if flags["supports_batch"] else "per-campaign")
+            notes.append(
+                "block maxima" if flags["needs_block_maxima"] else "peaks-over-threshold"
+            )
+            print(f"{name.ljust(width)}  {flags['description']} ({', '.join(notes)})")
+        return 0
+
+    # pwcet_command == "compare"
+    if args.bootstrap < 0:
+        parser.error(f"--bootstrap must be >= 0, got {args.bootstrap}")
+    settings = _validated_settings(parser, args, [args.experiment])
+    if settings is None:
+        return 2
+    store = ResultStore(args.store)
+    study = get_study(args.experiment)
+    chatter = sys.stdout if args.output_format == "text" else sys.stderr
+    print(f"== {args.experiment}: {study.description}", file=chatter)
+    outcome = study.run(settings, store=store)
+    print(f"-- {args.experiment}: {outcome.report.summary()}", file=chatter)
+    # --estimators picks the comparison columns; a bare --estimator narrows
+    # the comparison to that single estimator instead of being ignored.
+    estimators = args.estimators
+    if estimators is None and settings.estimator:
+        estimators = [MbptaConfig(fit_method=settings.estimator).estimator_name]
+    try:
+        # Routed through the result set so warm comparisons reuse the
+        # persisted analyses and re-fit nothing.
+        comparison = outcome.results.compare_estimators(
+            estimators=estimators, bootstrap=args.bootstrap
+        )
+    except ValueError as error:
+        print(f"error: experiment '{args.experiment}': {error}", file=sys.stderr)
+        return 2
+    if args.output_format == "csv":
+        print(CSV_HEADER)
+    print(
+        render_result(
+            f"pwcet-compare:{args.experiment}", comparison, args.output_format
+        )
+    )
+    return 0
 
 
 def _validated_settings(
@@ -225,6 +329,10 @@ def _validated_settings(
         parser.error(f"jobs must be >= 0 (0 = one worker per CPU), got {settings.jobs}")
     try:
         get_engine(settings.engine)  # catches bad REPRO_ENGINE values too
+        if settings.estimator:
+            # Resolve through the config so the legacy "pwm"/"mle" aliases
+            # stay usable from REPRO_ESTIMATOR; catches bad values too.
+            get_estimator(MbptaConfig(fit_method=settings.estimator).estimator_name)
     except ValueError as error:
         parser.error(str(error))
     problem = _validate_run_request(targets, settings)
@@ -254,6 +362,9 @@ def main(argv: list[str] | None = None) -> int:
         for identifier in targets:
             _run_one(identifier, settings, args.output_format)
         return 0
+
+    if args.command == "pwcet":
+        return _pwcet_command(parser, args)
 
     # command == "study"
     if args.study_command == "list":

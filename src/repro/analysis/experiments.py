@@ -36,7 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cache.hierarchy import HierarchyConfig
 from ..hardware import FpgaDevice
-from ..mbpta.protocol import MbptaConfig
+from ..pwcet.protocol import MbptaConfig
 from ..platform.leon3 import Leon3Parameters, platform_setup
 from ..workloads.synthetic import SYNTHETIC_FOOTPRINTS
 from .report import format_ccdf, format_histogram, format_table
@@ -85,6 +85,11 @@ class ExperimentSettings:
     Campaigns are bit-exact for every ``jobs`` value and every bit-exact
     engine (see :mod:`repro.analysis.parallel`), so both knobs only affect
     wall-clock time.  ``jobs`` can also be set with ``REPRO_JOBS``.
+
+    ``estimator`` names a registered pWCET estimator (see
+    :func:`repro.pwcet.available_estimators`; ``REPRO_ESTIMATOR`` overrides
+    it from the environment).  Left empty, the MBPTA config default
+    (``gumbel-pwm``) applies — the historical behaviour.
     """
 
     runs: int = 300
@@ -92,6 +97,7 @@ class ExperimentSettings:
     scale: float = 1.0
     engine: str = "fast"
     jobs: int = 1
+    estimator: str = ""
     cutoff: float = 1e-15
     secondary_cutoff: float = 1e-12
     mbpta: MbptaConfig = field(default_factory=MbptaConfig)
@@ -116,6 +122,9 @@ class ExperimentSettings:
         engine = os.environ.get("REPRO_ENGINE", "").strip()
         if engine:
             settings = replace(settings, engine=engine)
+        estimator = os.environ.get("REPRO_ESTIMATOR", "").strip()
+        if estimator:
+            settings = replace(settings, estimator=estimator)
         return settings
 
     def setup(self, name: str) -> HierarchyConfig:

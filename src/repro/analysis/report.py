@@ -26,6 +26,7 @@ __all__ = [
     "format_histogram",
     "format_ccdf",
     "format_ratio",
+    "format_estimator_comparison",
     "RESULT_FORMATS",
     "CSV_HEADER",
     "result_to_data",
@@ -112,6 +113,49 @@ def format_ratio(value: float) -> str:
     return f"{(value - 1.0) * 100.0:+.1f}%"
 
 
+def format_estimator_comparison(comparison) -> str:
+    """Render a :class:`repro.pwcet.EstimatorComparison` as an aligned table.
+
+    One row per (scenario, cutoff probability); one pWCET column per
+    estimator, annotated with the bootstrap confidence interval when the
+    comparison was run with bootstrapping, plus the observed high-water
+    mark and the per-estimator i.i.d. verdicts.
+    """
+    headers = ["scenario", "cutoff", "hwm"]
+    headers.extend(f"pWCET {name}" for name in comparison.estimators)
+    rows: List[List[str]] = []
+    for label in comparison.labels:
+        for cutoff in comparison.cutoffs:
+            row = [label, f"{cutoff:g}", f"{comparison.hwm[label]:,.0f}"]
+            for name in comparison.estimators:
+                cell = comparison.cells[label][name]
+                value = cell["pwcet"][cutoff]
+                interval = cell["pwcet_ci"].get(cutoff)
+                text = f"{value:,.0f}"
+                if interval is not None:
+                    text += f" [{interval[0]:,.0f}, {interval[1]:,.0f}]"
+                row.append(text)
+            rows.append(row)
+    verdicts = []
+    for name in comparison.estimators:
+        failing = [
+            label
+            for label in comparison.labels
+            if not comparison.cells[label][name]["iid_passed"]
+        ]
+        verdicts.append(
+            f"{name}: i.i.d. ok for {len(comparison.labels) - len(failing)}/"
+            f"{len(comparison.labels)} scenario(s)"
+            + (f" (failing: {', '.join(failing)})" if failing else "")
+        )
+    table = format_table(
+        headers,
+        rows,
+        title="pWCET estimator comparison",
+    )
+    return "\n".join([table, "", *verdicts])
+
+
 # ---------------------------------------------------------------------------
 # Machine-readable experiment output
 # ---------------------------------------------------------------------------
@@ -156,6 +200,7 @@ def render_result(
     result: object,
     fmt: str = "text",
     miss_rates: Dict[str, Dict[str, float]] | None = None,
+    analysis: Dict[str, Dict[str, object]] | None = None,
 ) -> str:
     """Render one experiment result in the requested format.
 
@@ -166,8 +211,13 @@ def render_result(
 
     ``miss_rates`` optionally carries per-scenario cache miss summaries
     (scenario label -> :meth:`repro.analysis.campaign.CampaignResult.miss_summary`
-    data).  The machine-readable formats include them — ``json`` under a
-    top-level ``"miss_rates"`` key, ``csv`` as ``miss_rates.<scenario>.<metric>``
+    data); ``analysis`` optionally carries per-scenario pWCET analysis
+    summaries (scenario label ->
+    :meth:`repro.study.ResultSet.analysis_summaries` data, including the
+    estimator name and the discarded-run count of block-maxima grouping).
+    The machine-readable formats include both — ``json`` under top-level
+    ``"miss_rates"`` / ``"analysis"`` keys, ``csv`` as
+    ``miss_rates.<scenario>.<metric>`` / ``analysis.<scenario>.<metric>``
     rows — while ``text`` ignores them so the paper-style tables stay
     byte-identical.
     """
@@ -180,6 +230,8 @@ def render_result(
         }
         if miss_rates:
             payload["miss_rates"] = result_to_data(miss_rates)
+        if analysis:
+            payload["analysis"] = result_to_data(analysis)
         return json.dumps(payload, sort_keys=True)
     if fmt == "csv":
         buffer = io.StringIO()
@@ -188,6 +240,9 @@ def render_result(
             writer.writerow([identifier, key, value])
         if miss_rates:
             for key, value in flatten_result(result_to_data(miss_rates), "miss_rates"):
+                writer.writerow([identifier, key, value])
+        if analysis:
+            for key, value in flatten_result(result_to_data(analysis), "analysis"):
                 writer.writerow([identifier, key, value])
         return buffer.getvalue().rstrip("\n")
     raise ValueError(f"unknown format {fmt!r}; expected one of {RESULT_FORMATS}")

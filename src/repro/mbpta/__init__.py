@@ -1,47 +1,12 @@
-"""MBPTA statistics: EVT/Gumbel fitting, i.i.d. admission tests, the protocol."""
+"""Compatibility alias for :mod:`repro.pwcet`.
 
-from .evt import (
-    EULER_MASCHERONI,
-    GumbelFit,
-    PWcetCurve,
-    block_maxima,
-    empirical_ccdf,
-    fit_gumbel,
-)
-from .protocol import (
-    DEFAULT_EXCEEDANCE_PROBABILITIES,
-    MBPTA_MIN_RUNS,
-    MbptaConfig,
-    MbptaResult,
-    apply_mbpta,
-)
-from .tests import (
-    IidAssessment,
-    TestResult,
-    exponential_tail_test,
-    identical_distribution_test,
-    iid_assessment,
-    ks_two_sample_test,
-    wald_wolfowitz_test,
-)
+The MBPTA statistics grew into the first-class pWCET analysis subsystem
+:mod:`repro.pwcet` (estimator registry, vectorized batch pipeline, analysis
+persistence).  Everything historically importable from ``repro.mbpta`` —
+including the submodules ``repro.mbpta.evt``, ``repro.mbpta.tests`` and
+``repro.mbpta.protocol`` — keeps working and re-exports the same objects.
+New code should import from :mod:`repro.pwcet` directly.
+"""
 
-__all__ = [
-    "EULER_MASCHERONI",
-    "GumbelFit",
-    "PWcetCurve",
-    "block_maxima",
-    "empirical_ccdf",
-    "fit_gumbel",
-    "DEFAULT_EXCEEDANCE_PROBABILITIES",
-    "MBPTA_MIN_RUNS",
-    "MbptaConfig",
-    "MbptaResult",
-    "apply_mbpta",
-    "IidAssessment",
-    "TestResult",
-    "exponential_tail_test",
-    "identical_distribution_test",
-    "iid_assessment",
-    "ks_two_sample_test",
-    "wald_wolfowitz_test",
-]
+from ..pwcet import *  # noqa: F401,F403
+from ..pwcet import __all__  # noqa: F401

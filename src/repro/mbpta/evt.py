@@ -1,214 +1,25 @@
-"""Extreme Value Theory machinery for pWCET estimation.
+"""Compatibility alias for :mod:`repro.pwcet.evt`."""
 
-MBPTA (Cucu-Grosjean et al., ECRTS 2012) collects execution-time
-measurements on a time-randomised platform, groups them into blocks, fits a
-Gumbel distribution to the block maxima and projects its tail to obtain the
-probabilistic WCET: the execution time whose per-run exceedance probability
-is below a target such as 1e-15.
-
-This module implements:
-
-* :func:`fit_gumbel` — Gumbel parameter estimation by probability-weighted
-  moments (the standard, robust choice for small samples) or maximum
-  likelihood (via scipy), on raw samples or block maxima;
-* :class:`PWcetCurve` — the projected exceedance curve, offering per-run
-  exceedance probabilities, quantiles (pWCET at a cutoff probability) and
-  CCDF points for plotting figures like Figure 1 and Figure 5(c);
-* :func:`empirical_ccdf` — the measured complementary CDF the projections
-  are compared against.
-"""
-
-from __future__ import annotations
-
-import math
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
-
-import numpy as np
+from ..pwcet.evt import (  # noqa: F401
+    EULER_MASCHERONI,
+    GumbelFit,
+    PWcetCurve,
+    block_maxima,
+    block_maxima_batch,
+    discarded_run_count,
+    empirical_ccdf,
+    fit_gumbel,
+    fit_gumbel_batch,
+)
 
 __all__ = [
     "GumbelFit",
     "fit_gumbel",
+    "fit_gumbel_batch",
     "block_maxima",
+    "block_maxima_batch",
+    "discarded_run_count",
     "PWcetCurve",
     "empirical_ccdf",
     "EULER_MASCHERONI",
 ]
-
-#: Euler-Mascheroni constant (mean of the standard Gumbel distribution).
-EULER_MASCHERONI = 0.5772156649015329
-
-
-@dataclass(frozen=True)
-class GumbelFit:
-    """A fitted Gumbel (type-I extreme value) distribution.
-
-    ``location`` (mu) and ``scale`` (beta) parameterise
-    ``F(x) = exp(-exp(-(x - mu) / beta))``.
-    """
-
-    location: float
-    scale: float
-    method: str = "pwm"
-    sample_size: int = 0
-
-    def __post_init__(self) -> None:
-        if self.scale <= 0:
-            raise ValueError(f"Gumbel scale must be positive, got {self.scale}")
-
-    def cdf(self, value: float) -> float:
-        """P(X <= value)."""
-        return math.exp(-math.exp(-(value - self.location) / self.scale))
-
-    def survival(self, value: float) -> float:
-        """P(X > value), computed accurately for the far tail."""
-        z = (value - self.location) / self.scale
-        # -expm1(-exp(-z)) is numerically exact for both small and large z.
-        return -math.expm1(-math.exp(-z))
-
-    def quantile(self, probability: float) -> float:
-        """Value exceeded with probability ``probability`` (i.e. 1 - cdf)."""
-        if not 0.0 < probability < 1.0:
-            raise ValueError(f"probability must be in (0, 1), got {probability}")
-        # Invert survival: 1 - exp(-exp(-z)) = p  =>  z = -log(-log(1 - p)).
-        # For tiny p, log1p keeps full precision.
-        return self.location - self.scale * math.log(-math.log1p(-probability))
-
-    @property
-    def mean(self) -> float:
-        """Mean of the fitted distribution."""
-        return self.location + EULER_MASCHERONI * self.scale
-
-
-def block_maxima(samples: Sequence[float], block_size: int) -> List[float]:
-    """Split ``samples`` into consecutive blocks and return each block's maximum.
-
-    A trailing partial block is discarded, as in the MBPTA protocol.
-    """
-    if block_size < 1:
-        raise ValueError(f"block_size must be >= 1, got {block_size}")
-    n_blocks = len(samples) // block_size
-    if n_blocks < 1:
-        raise ValueError(
-            f"not enough samples ({len(samples)}) for a single block of {block_size}"
-        )
-    return [
-        max(samples[i * block_size : (i + 1) * block_size]) for i in range(n_blocks)
-    ]
-
-
-def _fit_gumbel_pwm(values: np.ndarray) -> Tuple[float, float]:
-    """Probability-weighted-moments estimator (Hosking et al.)."""
-    ordered = np.sort(values)
-    n = len(ordered)
-    b0 = float(np.mean(ordered))
-    ranks = np.arange(n, dtype=float)
-    b1 = float(np.sum(ranks * ordered) / (n * (n - 1))) if n > 1 else b0
-    scale = (2.0 * b1 - b0) / math.log(2.0)
-    location = b0 - EULER_MASCHERONI * scale
-    return location, scale
-
-
-def _fit_gumbel_mle(values: np.ndarray) -> Tuple[float, float]:
-    """Maximum-likelihood estimator via scipy."""
-    from scipy import stats
-
-    location, scale = stats.gumbel_r.fit(values)
-    return float(location), float(scale)
-
-
-def fit_gumbel(
-    samples: Sequence[float],
-    block_size: int = 1,
-    method: str = "pwm",
-) -> GumbelFit:
-    """Fit a Gumbel distribution to ``samples`` (or their block maxima).
-
-    ``method`` is ``"pwm"`` (probability-weighted moments, default) or
-    ``"mle"`` (maximum likelihood through scipy).  Degenerate samples (all
-    values identical — which does happen for fully deterministic setups) are
-    given a tiny positive scale so downstream projections remain defined.
-    """
-    if len(samples) < 2:
-        raise ValueError("at least two samples are required to fit a Gumbel")
-    data = block_maxima(samples, block_size) if block_size > 1 else list(samples)
-    values = np.asarray(data, dtype=float)
-    if float(np.max(values)) == float(np.min(values)):
-        return GumbelFit(
-            location=float(values[0]),
-            scale=max(abs(float(values[0])) * 1e-12, 1e-9),
-            method=method,
-            sample_size=len(values),
-        )
-    if method == "pwm":
-        location, scale = _fit_gumbel_pwm(values)
-    elif method == "mle":
-        location, scale = _fit_gumbel_mle(values)
-    else:
-        raise ValueError(f"unknown fit method {method!r}; expected 'pwm' or 'mle'")
-    if scale <= 0:
-        # PWM can produce non-positive scales for nearly-degenerate data.
-        scale = max(float(np.std(values)) * math.sqrt(6.0) / math.pi, 1e-9)
-    return GumbelFit(location=location, scale=scale, method=method, sample_size=len(values))
-
-
-@dataclass(frozen=True)
-class PWcetCurve:
-    """Projected pWCET exceedance curve.
-
-    The underlying Gumbel fit describes the distribution of block maxima of
-    ``block_size`` consecutive runs.  For the very small exceedance
-    probabilities of interest, the per-run exceedance probability of a value
-    ``x`` is approximately ``P(block max > x) / block_size``; this is the
-    standard projection used in MBPTA literature.
-    """
-
-    fit: GumbelFit
-    block_size: int = 1
-
-    def exceedance(self, value: float) -> float:
-        """Per-run probability of exceeding ``value``."""
-        return min(1.0, self.fit.survival(value) / self.block_size)
-
-    def pwcet(self, exceedance_probability: float) -> float:
-        """Execution time exceeded with at most ``exceedance_probability`` per run."""
-        if not 0.0 < exceedance_probability < 1.0:
-            raise ValueError(
-                f"exceedance_probability must be in (0, 1), got {exceedance_probability}"
-            )
-        block_probability = min(exceedance_probability * self.block_size, 1.0 - 1e-12)
-        return self.fit.quantile(block_probability)
-
-    def ccdf_points(
-        self,
-        min_probability: float = 1e-18,
-        max_probability: float = 1.0,
-        points_per_decade: int = 4,
-    ) -> List[Tuple[float, float]]:
-        """(execution time, exceedance probability) points for log-scale plots."""
-        if min_probability <= 0 or max_probability > 1.0:
-            raise ValueError("probabilities must satisfy 0 < min <= max <= 1")
-        decades_low = math.log10(min_probability)
-        decades_high = math.log10(min(max_probability, 0.999999))
-        count = max(int((decades_high - decades_low) * points_per_decade) + 1, 2)
-        exponents = np.linspace(decades_low, decades_high, count)
-        points = []
-        for exponent in exponents[::-1]:
-            probability = 10.0 ** float(exponent)
-            points.append((self.pwcet(probability), probability))
-        return points
-
-
-def empirical_ccdf(samples: Sequence[float]) -> List[Tuple[float, float]]:
-    """Empirical complementary CDF: (value, P(X > value)) for each distinct value."""
-    if not len(samples):
-        raise ValueError("samples must not be empty")
-    values = np.sort(np.asarray(samples, dtype=float))
-    n = len(values)
-    points: List[Tuple[float, float]] = []
-    unique, counts = np.unique(values, return_counts=True)
-    below = 0
-    for value, count in zip(unique, counts):
-        below += int(count)
-        points.append((float(value), float((n - below) / n)))
-    return points

@@ -1,159 +1,23 @@
-"""The MBPTA application protocol.
+"""Compatibility alias for :mod:`repro.pwcet.protocol`."""
 
-This ties together the pieces of :mod:`repro.mbpta`: given a sample of
-execution-time measurements collected on a time-randomised platform, check
-the i.i.d. admission tests, fit the Gumbel tail and project the pWCET curve,
-exactly as the paper does in Sections 4.2 and 4.3.
-"""
-
-from __future__ import annotations
-
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
-
-from .evt import GumbelFit, PWcetCurve, fit_gumbel
-from .tests import IidAssessment, iid_assessment
+from ..pwcet.protocol import (  # noqa: F401
+    ANALYSIS_VERSION,
+    BOOTSTRAP_CONFIDENCE,
+    DEFAULT_EXCEEDANCE_PROBABILITIES,
+    MBPTA_MIN_RUNS,
+    MbptaConfig,
+    MbptaResult,
+    apply_mbpta,
+    apply_mbpta_batch,
+)
 
 __all__ = [
     "MBPTA_MIN_RUNS",
+    "ANALYSIS_VERSION",
+    "BOOTSTRAP_CONFIDENCE",
     "MbptaConfig",
     "MbptaResult",
     "apply_mbpta",
+    "apply_mbpta_batch",
     "DEFAULT_EXCEEDANCE_PROBABILITIES",
 ]
-
-#: Minimum number of measurement runs the protocol accepts.  Below this the
-#: i.i.d. admission tests and the block-maxima Gumbel fit are meaningless.
-#: The CLI validates requested campaign sizes against this bound up front so
-#: users get a one-line error instead of a deep traceback.
-MBPTA_MIN_RUNS = 20
-
-#: Cutoff probabilities highlighted by the paper: 1e-12 for high criticality
-#: levels and 1e-15 for the highest ones in automotive/avionics.
-DEFAULT_EXCEEDANCE_PROBABILITIES: Tuple[float, ...] = (1e-12, 1e-15)
-
-
-@dataclass(frozen=True)
-class MbptaConfig:
-    """Knobs of the MBPTA protocol.
-
-    ``block_size`` is the number of consecutive runs per block-maxima block;
-    the paper's methodology uses a few tens of runs per block on samples of
-    1000 measurements.  ``fit_method`` selects the Gumbel estimator.
-    """
-
-    block_size: int = 20
-    fit_method: str = "pwm"
-    significance: float = 0.05
-    exceedance_probabilities: Tuple[float, ...] = DEFAULT_EXCEEDANCE_PROBABILITIES
-
-    def __post_init__(self) -> None:
-        if self.block_size < 1:
-            raise ValueError(f"block_size must be >= 1, got {self.block_size}")
-        for probability in self.exceedance_probabilities:
-            if not 0.0 < probability < 1.0:
-                raise ValueError(f"exceedance probability out of range: {probability}")
-
-
-@dataclass
-class MbptaResult:
-    """Everything produced by one MBPTA application."""
-
-    samples: Sequence[float]
-    assessment: IidAssessment
-    fit: GumbelFit
-    curve: PWcetCurve
-    pwcet: Dict[float, float] = field(default_factory=dict)
-    config: MbptaConfig = MbptaConfig()
-
-    @property
-    def iid_passed(self) -> bool:
-        """Whether the sample passed all MBPTA admission tests."""
-        return self.assessment.passed
-
-    @property
-    def high_water_mark(self) -> float:
-        """Largest observed execution time."""
-        return max(self.samples)
-
-    @property
-    def mean(self) -> float:
-        """Mean observed execution time."""
-        return sum(self.samples) / len(self.samples)
-
-    def pwcet_at(self, exceedance_probability: float) -> float:
-        """pWCET at an arbitrary cutoff probability."""
-        return self.curve.pwcet(exceedance_probability)
-
-    def summary(self) -> Dict[str, float]:
-        """Flat summary used by reports and the experiment drivers."""
-        summary: Dict[str, float] = {
-            "runs": float(len(self.samples)),
-            "mean": self.mean,
-            "hwm": self.high_water_mark,
-            "ww_statistic": self.assessment.independence.statistic,
-            "ks_p_value": self.assessment.identical_distribution.p_value,
-            "et_statistic": self.assessment.gumbel_convergence.statistic,
-            "iid_passed": float(self.iid_passed),
-            "gumbel_location": self.fit.location,
-            "gumbel_scale": self.fit.scale,
-        }
-        for probability, value in self.pwcet.items():
-            summary[f"pwcet@{probability:g}"] = value
-        return summary
-
-
-def apply_mbpta(
-    samples: Sequence[float],
-    config: Optional[MbptaConfig] = None,
-    require_iid: bool = False,
-) -> MbptaResult:
-    """Apply the MBPTA protocol to a sample of execution times.
-
-    Parameters
-    ----------
-    samples:
-        Execution-time measurements, one per run, collected with a fresh
-        random seed per run.
-    config:
-        Protocol configuration (block size, estimator, cutoffs).
-    require_iid:
-        If True, raise ``ValueError`` when any admission test fails —
-        useful in pipelines that must not silently produce pWCET estimates
-        from non-compliant configurations.  The default records the test
-        outcome in the result and continues, which is what the evaluation
-        scripts need when they *compare* compliant and non-compliant setups.
-    """
-    if len(samples) < MBPTA_MIN_RUNS:
-        raise ValueError(
-            f"MBPTA needs at least {MBPTA_MIN_RUNS} measurements, got {len(samples)}"
-        )
-    config = config or MbptaConfig()
-    assessment = iid_assessment(samples, config.significance)
-    if require_iid and not assessment.passed:
-        failed = [
-            result.name
-            for result in (
-                assessment.independence,
-                assessment.identical_distribution,
-                assessment.gumbel_convergence,
-            )
-            if not result.passed
-        ]
-        raise ValueError(f"sample failed MBPTA admission tests: {', '.join(failed)}")
-
-    block_size = min(config.block_size, max(len(samples) // 10, 1))
-    fit = fit_gumbel(samples, block_size=block_size, method=config.fit_method)
-    curve = PWcetCurve(fit=fit, block_size=block_size)
-    pwcet = {
-        probability: curve.pwcet(probability)
-        for probability in config.exceedance_probabilities
-    }
-    return MbptaResult(
-        samples=list(samples),
-        assessment=assessment,
-        fit=fit,
-        curve=curve,
-        pwcet=pwcet,
-        config=config,
-    )

@@ -1,274 +1,34 @@
-"""Statistical tests required by the MBPTA protocol.
+"""Compatibility alias for :mod:`repro.pwcet.admission`."""
 
-Before EVT may be applied, the execution-time observations must be shown to
-be independent and identically distributed (i.i.d.) and the tail must be
-compatible with a Gumbel/exponential shape.  The paper (Table 2) uses:
-
-* the **Wald-Wolfowitz runs test** for independence — statistic below 1.96
-  passes at the 5 % significance level;
-* the **two-sample Kolmogorov-Smirnov test** for identical distribution —
-  p-value above 0.05 passes;
-* the **ET test** (Garrido & Diebolt) for convergence of the tail to an
-  exponential/Gumbel shape.
-
-The implementations below are self-contained (closed-form asymptotics), and
-the test-suite cross-checks them against scipy where scipy offers an
-equivalent.
-"""
-
-from __future__ import annotations
-
-import math
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
-
-import numpy as np
+from ..pwcet.admission import (  # noqa: F401
+    STEPHENS_EXPONENTIAL_W2_POINTS,
+    IidAssessment,
+    TestResult,
+    exponential_tail_batch,
+    exponential_tail_test,
+    identical_distribution_batch,
+    identical_distribution_test,
+    iid_assessment,
+    iid_assessment_batch,
+    ks_two_sample_test,
+    stephens_critical_value,
+    stephens_p_value,
+    wald_wolfowitz_batch,
+    wald_wolfowitz_test,
+)
 
 __all__ = [
     "TestResult",
     "wald_wolfowitz_test",
+    "wald_wolfowitz_batch",
     "ks_two_sample_test",
     "identical_distribution_test",
+    "identical_distribution_batch",
     "exponential_tail_test",
+    "exponential_tail_batch",
+    "stephens_critical_value",
+    "stephens_p_value",
     "iid_assessment",
+    "iid_assessment_batch",
     "IidAssessment",
 ]
-
-
-@dataclass(frozen=True)
-class TestResult:
-    """Outcome of one statistical test."""
-
-    name: str
-    statistic: float
-    p_value: float
-    passed: bool
-    details: str = ""
-
-
-# --------------------------------------------------------------------------
-# Wald-Wolfowitz runs test (independence)
-# --------------------------------------------------------------------------
-
-def wald_wolfowitz_test(samples: Sequence[float], significance: float = 0.05) -> TestResult:
-    """Runs test for independence of a sequence of measurements.
-
-    Observations are dichotomised around the median; the number of runs of
-    consecutive values on the same side is compared with its expectation
-    under independence.  The returned statistic is the absolute standard
-    score; values below the two-sided critical value (1.96 at 5 %) pass,
-    which is how Table 2 of the paper reports it.
-    """
-    values = np.asarray(samples, dtype=float)
-    if len(values) < 10:
-        raise ValueError("the runs test needs at least 10 observations")
-    median = float(np.median(values))
-    # Values equal to the median carry no information about ordering.
-    signs = [1 if value > median else 0 for value in values if value != median]
-    n_pos = sum(signs)
-    n_neg = len(signs) - n_pos
-    if n_pos == 0 or n_neg == 0:
-        # A constant sequence (fully deterministic platform) is trivially
-        # independent: there is nothing left to correlate.
-        return TestResult(
-            name="wald-wolfowitz",
-            statistic=0.0,
-            p_value=1.0,
-            passed=True,
-            details="degenerate sample (constant after removing median ties)",
-        )
-    runs = 1 + sum(1 for a, b in zip(signs, signs[1:]) if a != b)
-    n = n_pos + n_neg
-    expected = 2.0 * n_pos * n_neg / n + 1.0
-    variance = (2.0 * n_pos * n_neg * (2.0 * n_pos * n_neg - n)) / (n * n * (n - 1.0))
-    if variance <= 0:
-        statistic = 0.0
-    else:
-        statistic = abs(runs - expected) / math.sqrt(variance)
-    p_value = math.erfc(statistic / math.sqrt(2.0))
-    critical = _normal_two_sided_critical(significance)
-    return TestResult(
-        name="wald-wolfowitz",
-        statistic=statistic,
-        p_value=p_value,
-        passed=statistic < critical,
-        details=f"runs={runs}, expected={expected:.1f}",
-    )
-
-
-def _normal_two_sided_critical(significance: float) -> float:
-    """Two-sided standard-normal critical value (1.96 for 5 %)."""
-    from scipy import stats
-
-    return float(stats.norm.ppf(1.0 - significance / 2.0))
-
-
-# --------------------------------------------------------------------------
-# Two-sample Kolmogorov-Smirnov test (identical distribution)
-# --------------------------------------------------------------------------
-
-def _ks_statistic(sample_a: np.ndarray, sample_b: np.ndarray) -> float:
-    """Maximum distance between the two empirical CDFs."""
-    all_values = np.concatenate([sample_a, sample_b])
-    cdf_a = np.searchsorted(np.sort(sample_a), all_values, side="right") / len(sample_a)
-    cdf_b = np.searchsorted(np.sort(sample_b), all_values, side="right") / len(sample_b)
-    return float(np.max(np.abs(cdf_a - cdf_b)))
-
-
-def _ks_p_value(statistic: float, n_a: int, n_b: int) -> float:
-    """Asymptotic two-sample KS p-value (Kolmogorov distribution)."""
-    effective_n = n_a * n_b / (n_a + n_b)
-    lam = (math.sqrt(effective_n) + 0.12 + 0.11 / math.sqrt(effective_n)) * statistic
-    if lam <= 0:
-        return 1.0
-    total = 0.0
-    for j in range(1, 101):
-        term = 2.0 * (-1.0) ** (j - 1) * math.exp(-2.0 * j * j * lam * lam)
-        total += term
-        if abs(term) < 1e-12:
-            break
-    return float(min(max(total, 0.0), 1.0))
-
-
-def ks_two_sample_test(
-    sample_a: Sequence[float],
-    sample_b: Sequence[float],
-    significance: float = 0.05,
-) -> TestResult:
-    """Two-sample Kolmogorov-Smirnov test.
-
-    Passing (p-value above the significance level) supports the hypothesis
-    that both samples come from the same distribution.
-    """
-    a = np.asarray(sample_a, dtype=float)
-    b = np.asarray(sample_b, dtype=float)
-    if len(a) < 5 or len(b) < 5:
-        raise ValueError("both samples need at least 5 observations")
-    if np.allclose(a, a[0]) and np.allclose(b, b[0]) and math.isclose(float(a[0]), float(b[0])):
-        return TestResult(
-            name="kolmogorov-smirnov",
-            statistic=0.0,
-            p_value=1.0,
-            passed=True,
-            details="degenerate identical samples",
-        )
-    statistic = _ks_statistic(a, b)
-    p_value = _ks_p_value(statistic, len(a), len(b))
-    return TestResult(
-        name="kolmogorov-smirnov",
-        statistic=statistic,
-        p_value=p_value,
-        passed=p_value > significance,
-        details=f"n_a={len(a)}, n_b={len(b)}",
-    )
-
-
-def identical_distribution_test(
-    samples: Sequence[float], significance: float = 0.05
-) -> TestResult:
-    """Identical-distribution check used by MBPTA.
-
-    The measurement sequence is split into its first and second halves
-    (analysis-time convention of the MBPTA protocol) and the two halves are
-    compared with the two-sample KS test.
-    """
-    values = list(samples)
-    if len(values) < 10:
-        raise ValueError("identical-distribution test needs at least 10 observations")
-    half = len(values) // 2
-    return ks_two_sample_test(values[:half], values[half : 2 * half], significance)
-
-
-# --------------------------------------------------------------------------
-# ET test (exponential tail / Gumbel convergence)
-# --------------------------------------------------------------------------
-
-def exponential_tail_test(
-    samples: Sequence[float],
-    tail_fraction: float = 0.25,
-    significance: float = 0.05,
-) -> TestResult:
-    """Goodness-of-fit of the sample tail to an exponential distribution.
-
-    This follows the spirit of the ET test of Garrido & Diebolt (MMR 2000),
-    which MBPTA uses to confirm convergence towards a Gumbel: the excesses
-    over a high threshold must be compatible with an exponential
-    distribution.  The implementation tests the excesses with a
-    Cramér-von Mises statistic against the exponential fitted by maximum
-    likelihood, using the asymptotic critical values of Stephens for the
-    case of an estimated scale parameter.
-    """
-    if not 0.0 < tail_fraction <= 0.5:
-        raise ValueError(f"tail_fraction must be in (0, 0.5], got {tail_fraction}")
-    values = np.sort(np.asarray(samples, dtype=float))
-    if len(values) < 20:
-        raise ValueError("the exponential-tail test needs at least 20 observations")
-    n_tail = max(int(len(values) * tail_fraction), 10)
-    threshold = float(values[-n_tail - 1]) if n_tail < len(values) else float(values[0])
-    excesses = values[values > threshold] - threshold
-    excesses = excesses[excesses > 0]
-    if len(excesses) < 5 or float(np.mean(excesses)) <= 0:
-        return TestResult(
-            name="exponential-tail",
-            statistic=0.0,
-            p_value=1.0,
-            passed=True,
-            details="degenerate tail (no positive excesses)",
-        )
-    mean_excess = float(np.mean(excesses))
-    u = 1.0 - np.exp(-np.sort(excesses) / mean_excess)
-    n = len(u)
-    indices = np.arange(1, n + 1)
-    w2 = float(np.sum((u - (2 * indices - 1) / (2 * n)) ** 2) + 1.0 / (12 * n))
-    # Small-sample correction and critical value for the exponential case
-    # with estimated scale (Stephens 1974): 5 % critical value 0.224.
-    w2_adjusted = w2 * (1.0 + 0.16 / n)
-    critical = 0.224
-    # Map the statistic to an approximate p-value by exponential tail decay
-    # around the critical point (adequate for a pass/fail decision).
-    p_value = float(min(1.0, math.exp(-3.0 * (w2_adjusted - critical))))
-    return TestResult(
-        name="exponential-tail",
-        statistic=w2_adjusted,
-        p_value=p_value,
-        passed=w2_adjusted < critical,
-        details=f"threshold={threshold:.1f}, excesses={n}",
-    )
-
-
-# --------------------------------------------------------------------------
-# Combined assessment
-# --------------------------------------------------------------------------
-
-@dataclass(frozen=True)
-class IidAssessment:
-    """The three MBPTA admission checks for one measurement sample."""
-
-    independence: TestResult
-    identical_distribution: TestResult
-    gumbel_convergence: TestResult
-
-    @property
-    def passed(self) -> bool:
-        return (
-            self.independence.passed
-            and self.identical_distribution.passed
-            and self.gumbel_convergence.passed
-        )
-
-    def as_row(self) -> Tuple[float, float, float]:
-        """(WW statistic, KS p-value, ET statistic) as reported in Table 2."""
-        return (
-            self.independence.statistic,
-            self.identical_distribution.p_value,
-            self.gumbel_convergence.statistic,
-        )
-
-
-def iid_assessment(samples: Sequence[float], significance: float = 0.05) -> IidAssessment:
-    """Run the three admission tests on one measurement sample."""
-    return IidAssessment(
-        independence=wald_wolfowitz_test(samples, significance),
-        identical_distribution=identical_distribution_test(samples, significance),
-        gumbel_convergence=exponential_tail_test(samples, significance=significance),
-    )

@@ -1,0 +1,111 @@
+"""Cross-estimator comparison of pWCET projections.
+
+:func:`compare_estimators` runs several registered estimators over the same
+campaigns (batched per estimator through
+:func:`~repro.pwcet.protocol.apply_mbpta_batch`) and returns an
+:class:`EstimatorComparison` whose ``format()`` renders one row per
+(scenario, cutoff) with one pWCET column per estimator — the view behind
+``python -m repro pwcet compare``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .admission import iid_assessment_batch
+from .protocol import MBPTA_MIN_RUNS, MbptaConfig, MbptaResult, apply_mbpta_batch
+from .registry import available_estimators, get_estimator
+
+__all__ = ["EstimatorComparison", "compare_estimators", "comparison_cell"]
+
+
+@dataclass
+class EstimatorComparison:
+    """pWCET projections of several estimators over the same campaigns.
+
+    ``cells[label][estimator]`` carries the estimator's flat summary for
+    that campaign: pWCET per cutoff, i.i.d. verdict, discarded runs and —
+    when bootstrapping is enabled — the confidence intervals.
+    """
+
+    labels: List[str]
+    estimators: List[str]
+    cutoffs: Tuple[float, ...]
+    hwm: Dict[str, float]
+    cells: Dict[str, Dict[str, Dict[str, object]]] = field(default_factory=dict)
+
+    def pwcet(self, label: str, estimator: str, cutoff: float) -> float:
+        """One projected pWCET value."""
+        return self.cells[label][estimator]["pwcet"][cutoff]  # type: ignore[index]
+
+    def format(self) -> str:
+        """Aligned table: one row per (scenario, cutoff), one column per
+        estimator."""
+        from ..analysis.report import format_estimator_comparison
+
+        return format_estimator_comparison(self)
+
+
+def comparison_cell(result: MbptaResult) -> Dict[str, object]:
+    """One analysis flattened into an :class:`EstimatorComparison` cell."""
+    return {
+        "pwcet": dict(result.pwcet),
+        "pwcet_ci": dict(result.pwcet_ci),
+        "iid_passed": result.iid_passed,
+        "discarded_runs": result.discarded_runs,
+        "block_size": result.curve.block_size,
+    }
+
+
+def compare_estimators(
+    samples_by_label: Mapping[str, Sequence[float]],
+    estimators: Optional[Sequence[str]] = None,
+    config: Optional[MbptaConfig] = None,
+) -> EstimatorComparison:
+    """Assess every campaign with every requested estimator.
+
+    ``samples_by_label`` maps scenario labels to execution-time samples
+    (each at least :data:`MBPTA_MIN_RUNS` long).  ``estimators`` defaults to
+    every registered estimator.  Campaigns sharing a run count are batched
+    into a single pipeline pass per estimator.
+    """
+    if not samples_by_label:
+        raise ValueError("samples_by_label must not be empty")
+    names = list(estimators) if estimators else list(available_estimators())
+    for name in names:
+        get_estimator(name)  # unknown estimators fail before any work
+    config = config or MbptaConfig()
+    labels = list(samples_by_label)
+    for label in labels:
+        if len(samples_by_label[label]) < MBPTA_MIN_RUNS:
+            raise ValueError(
+                f"campaign {label!r} has {len(samples_by_label[label])} runs; "
+                f"MBPTA needs at least {MBPTA_MIN_RUNS}"
+            )
+    by_length: Dict[int, List[str]] = {}
+    for label in labels:
+        by_length.setdefault(len(samples_by_label[label]), []).append(label)
+    cells: Dict[str, Dict[str, Dict[str, object]]] = {label: {} for label in labels}
+    for group in by_length.values():
+        rows = [samples_by_label[label] for label in group]
+        # The admission battery is estimator-independent: run it once per
+        # group and share it across every estimator's pipeline pass.
+        assessments = iid_assessment_batch(
+            np.asarray(rows, dtype=float), config.significance
+        )
+        for name in names:
+            results = apply_mbpta_batch(
+                rows, config=config, estimator=name, assessments=assessments
+            )
+            for label, result in zip(group, results):
+                cells[label][name] = comparison_cell(result)
+    return EstimatorComparison(
+        labels=labels,
+        estimators=names,
+        cutoffs=tuple(config.exceedance_probabilities),
+        hwm={label: max(samples_by_label[label]) for label in labels},
+        cells=cells,
+    )

@@ -1,0 +1,387 @@
+"""The MBPTA application protocol.
+
+This ties together the pieces of :mod:`repro.pwcet`: given a sample of
+execution-time measurements collected on a time-randomised platform, check
+the i.i.d. admission tests, fit the tail through a registered estimator and
+project the pWCET curve, exactly as the paper does in Sections 4.2 and 4.3.
+
+Two entry points exist:
+
+* :func:`apply_mbpta` — one campaign at a time (the historical API);
+* :func:`apply_mbpta_batch` — a whole ``(n_campaigns, n_runs)`` matrix in
+  one pass: the admission battery, block maxima, EVT fits and bootstrap
+  confidence intervals are all computed vectorized across campaigns, and
+  the per-campaign results are **bit-identical** to looping
+  :func:`apply_mbpta` (asserted over every registered study by the
+  batch-equivalence tests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .admission import IidAssessment, iid_assessment, iid_assessment_batch
+from .registry import Estimator, TailEstimate, get_estimator
+
+__all__ = [
+    "MBPTA_MIN_RUNS",
+    "ANALYSIS_VERSION",
+    "MbptaConfig",
+    "MbptaResult",
+    "apply_mbpta",
+    "apply_mbpta_batch",
+    "DEFAULT_EXCEEDANCE_PROBABILITIES",
+    "BOOTSTRAP_CONFIDENCE",
+]
+
+#: Minimum number of measurement runs the protocol accepts.  Below this the
+#: i.i.d. admission tests and the block-maxima Gumbel fit are meaningless.
+#: The CLI validates requested campaign sizes against this bound up front so
+#: users get a one-line error instead of a deep traceback.
+MBPTA_MIN_RUNS = 20
+
+#: Cutoff probabilities highlighted by the paper: 1e-12 for high criticality
+#: levels and 1e-15 for the highest ones in automotive/avionics.
+DEFAULT_EXCEEDANCE_PROBABILITIES: Tuple[float, ...] = (1e-12, 1e-15)
+
+#: Version of the persisted analysis payload; bump when the meaning of any
+#: analysis-determining knob changes so stale store entries become misses.
+ANALYSIS_VERSION = 1
+
+#: Confidence level of the bootstrap pWCET intervals.
+BOOTSTRAP_CONFIDENCE = 0.95
+
+#: Fixed seed of the bootstrap resampling plan.  A *shared* plan (the same
+#: resample indices for every campaign of a batch) keeps campaign-to-campaign
+#: CI comparisons low-variance and makes the batched path bit-identical to
+#: the per-campaign one.
+_BOOTSTRAP_SEED = 0x9E3779B9
+
+#: Legacy ``fit_method`` spellings accepted for the estimator name.
+_ESTIMATOR_ALIASES = {"pwm": "gumbel-pwm", "mle": "gumbel-mle"}
+
+
+@dataclass(frozen=True)
+class MbptaConfig:
+    """Knobs of the MBPTA protocol.
+
+    ``block_size`` is the number of consecutive runs per block-maxima block;
+    the paper's methodology uses a few tens of runs per block on samples of
+    1000 measurements.  ``fit_method`` selects the pWCET estimator by
+    registry name (:func:`repro.pwcet.available_estimators`); the legacy
+    spellings ``"pwm"`` and ``"mle"`` remain aliases for ``"gumbel-pwm"``
+    and ``"gumbel-mle"``.  ``bootstrap`` > 0 adds percentile confidence
+    intervals from that many block-resampled refits.
+    """
+
+    block_size: int = 20
+    fit_method: str = "pwm"
+    significance: float = 0.05
+    exceedance_probabilities: Tuple[float, ...] = DEFAULT_EXCEEDANCE_PROBABILITIES
+    bootstrap: int = 0
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {self.block_size}")
+        for probability in self.exceedance_probabilities:
+            if not 0.0 < probability < 1.0:
+                raise ValueError(f"exceedance probability out of range: {probability}")
+        if self.bootstrap < 0:
+            raise ValueError(f"bootstrap must be >= 0, got {self.bootstrap}")
+
+    @property
+    def estimator_name(self) -> str:
+        """The registry name of the configured estimator."""
+        return _ESTIMATOR_ALIASES.get(self.fit_method, self.fit_method)
+
+    def analysis_config(self) -> Dict[str, object]:
+        """Canonical, analysis-determining form (the analysis-hash input)."""
+        return {
+            "version": ANALYSIS_VERSION,
+            "estimator": self.estimator_name,
+            "block_size": self.block_size,
+            "significance": self.significance,
+            "exceedance_probabilities": list(self.exceedance_probabilities),
+            "bootstrap": self.bootstrap,
+        }
+
+    def analysis_hash(self) -> str:
+        """SHA-256 over the canonical analysis config.
+
+        Together with a scenario's spec hash this keys persisted pWCET
+        results in the result store: same sample, same analysis knobs —
+        same analysis.
+        """
+        canonical = json.dumps(
+            self.analysis_config(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("ascii")).hexdigest()
+
+
+@dataclass
+class MbptaResult:
+    """Everything produced by one MBPTA application."""
+
+    samples: Sequence[float]
+    assessment: IidAssessment
+    fit: object
+    curve: object
+    pwcet: Dict[float, float] = field(default_factory=dict)
+    config: MbptaConfig = MbptaConfig()
+    estimator: str = "gumbel-pwm"
+    #: Trailing runs silently dropped by block-maxima grouping (0 when the
+    #: sample length is a block multiple or the estimator is threshold-based).
+    discarded_runs: int = 0
+    #: Bootstrap percentile confidence intervals per cutoff probability
+    #: (empty unless ``config.bootstrap`` > 0).
+    pwcet_ci: Dict[float, Tuple[float, float]] = field(default_factory=dict)
+
+    @property
+    def iid_passed(self) -> bool:
+        """Whether the sample passed all MBPTA admission tests."""
+        return self.assessment.passed
+
+    @property
+    def high_water_mark(self) -> float:
+        """Largest observed execution time."""
+        return max(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Mean observed execution time."""
+        return sum(self.samples) / len(self.samples)
+
+    def pwcet_at(self, exceedance_probability: float) -> float:
+        """pWCET at an arbitrary cutoff probability."""
+        return self.curve.pwcet(exceedance_probability)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary used by reports and the experiment drivers.
+
+        ``fit_location``/``fit_scale`` are estimator-neutral (threshold and
+        exponential scale for peaks-over-threshold fits); the historical
+        ``gumbel_*`` keys are kept for Gumbel fits only, so consumers never
+        read a POT threshold as a Gumbel location.
+        """
+        from .evt import GumbelFit
+
+        summary: Dict[str, float] = {
+            "runs": float(len(self.samples)),
+            "mean": self.mean,
+            "hwm": self.high_water_mark,
+            "ww_statistic": self.assessment.independence.statistic,
+            "ks_p_value": self.assessment.identical_distribution.p_value,
+            "et_statistic": self.assessment.gumbel_convergence.statistic,
+            "iid_passed": float(self.iid_passed),
+            "fit_location": self.fit.location,
+            "fit_scale": self.fit.scale,
+            "discarded_runs": float(self.discarded_runs),
+        }
+        if isinstance(self.fit, GumbelFit):
+            summary["gumbel_location"] = self.fit.location
+            summary["gumbel_scale"] = self.fit.scale
+        for probability, value in self.pwcet.items():
+            summary[f"pwcet@{probability:g}"] = value
+        for probability, (low, high) in self.pwcet_ci.items():
+            summary[f"pwcet@{probability:g}_ci_low"] = low
+            summary[f"pwcet@{probability:g}_ci_high"] = high
+        return summary
+
+
+def _resolve(config: Optional[MbptaConfig], estimator: str) -> MbptaConfig:
+    """Merge an explicit estimator override into the config."""
+    config = config or MbptaConfig()
+    if estimator:
+        config = replace(config, fit_method=estimator)
+    return config
+
+
+def _check_iid(assessment: IidAssessment, context: str = "sample") -> None:
+    failed = [
+        result.name
+        for result in (
+            assessment.independence,
+            assessment.identical_distribution,
+            assessment.gumbel_convergence,
+        )
+        if not result.passed
+    ]
+    raise ValueError(f"{context} failed MBPTA admission tests: {', '.join(failed)}")
+
+
+def _assemble_result(
+    samples: Sequence[float],
+    assessment: IidAssessment,
+    estimate: TailEstimate,
+    config: MbptaConfig,
+    estimator: Estimator,
+    ci: Optional[Dict[float, Tuple[float, float]]] = None,
+) -> MbptaResult:
+    pwcet = {
+        probability: estimate.curve.pwcet(probability)
+        for probability in config.exceedance_probabilities
+    }
+    return MbptaResult(
+        samples=list(samples),
+        assessment=assessment,
+        fit=estimate.fit,
+        curve=estimate.curve,
+        pwcet=pwcet,
+        config=config,
+        estimator=estimator.name,
+        discarded_runs=estimate.discarded_runs,
+        pwcet_ci=dict(ci or {}),
+    )
+
+
+def apply_mbpta(
+    samples: Sequence[float],
+    config: Optional[MbptaConfig] = None,
+    require_iid: bool = False,
+    estimator: str = "",
+) -> MbptaResult:
+    """Apply the MBPTA protocol to a sample of execution times.
+
+    Parameters
+    ----------
+    samples:
+        Execution-time measurements, one per run, collected with a fresh
+        random seed per run.
+    config:
+        Protocol configuration (block size, estimator, cutoffs).
+    require_iid:
+        If True, raise ``ValueError`` when any admission test fails —
+        useful in pipelines that must not silently produce pWCET estimates
+        from non-compliant configurations.  The default records the test
+        outcome in the result and continues, which is what the evaluation
+        scripts need when they *compare* compliant and non-compliant setups.
+    estimator:
+        Registry name of the pWCET estimator, overriding
+        ``config.fit_method`` when non-empty.
+    """
+    if len(samples) < MBPTA_MIN_RUNS:
+        raise ValueError(
+            f"MBPTA needs at least {MBPTA_MIN_RUNS} measurements, got {len(samples)}"
+        )
+    config = _resolve(config, estimator)
+    assessment = iid_assessment(samples, config.significance)
+    if require_iid and not assessment.passed:
+        _check_iid(assessment)
+    fitter = get_estimator(config.estimator_name)
+    estimate = fitter.fit(samples, config)
+    ci = None
+    if config.bootstrap > 0:
+        matrix = np.asarray([samples], dtype=float)
+        ci = _bootstrap_intervals(matrix, config, fitter)[0]
+    return _assemble_result(samples, assessment, estimate, config, fitter, ci)
+
+
+def apply_mbpta_batch(
+    sample_matrix: Sequence[Sequence[float]],
+    config: Optional[MbptaConfig] = None,
+    require_iid: bool = False,
+    estimator: str = "",
+    assessments: Optional[List[IidAssessment]] = None,
+) -> List[MbptaResult]:
+    """Apply the MBPTA protocol to many campaigns in one vectorized pass.
+
+    ``sample_matrix`` holds one campaign per row (``(n_campaigns, n_runs)``;
+    all campaigns must have the same run count — group by length when they
+    differ).  Returns one :class:`MbptaResult` per row, bit-identical to
+    ``[apply_mbpta(row, config) for row in sample_matrix]`` for every
+    registered estimator.
+
+    ``assessments`` optionally reuses a precomputed admission battery (one
+    :class:`IidAssessment` per row, in row order) — the battery does not
+    depend on the estimator, so callers assessing the same campaigns with
+    several estimators (:func:`repro.pwcet.compare_estimators`) run it once.
+    """
+    try:
+        rows = [list(row) for row in sample_matrix]
+        matrix = np.asarray(rows, dtype=float)
+    except (TypeError, ValueError) as error:
+        raise ValueError(
+            "expected a 2-D sample matrix (one campaign per row); campaigns "
+            "of different lengths must be batched separately"
+        ) from error
+    if matrix.ndim != 2:
+        raise ValueError(
+            f"expected a 2-D sample matrix, got shape {matrix.shape}; "
+            "campaigns of different lengths must be batched separately"
+        )
+    if matrix.shape[1] < MBPTA_MIN_RUNS:
+        raise ValueError(
+            f"MBPTA needs at least {MBPTA_MIN_RUNS} measurements, "
+            f"got {matrix.shape[1]}"
+        )
+    config = _resolve(config, estimator)
+    if assessments is None:
+        assessments = iid_assessment_batch(matrix, config.significance)
+    elif len(assessments) != len(rows):
+        raise ValueError(
+            f"got {len(assessments)} precomputed assessments for "
+            f"{len(rows)} campaigns"
+        )
+    if require_iid:
+        for index, assessment in enumerate(assessments):
+            if not assessment.passed:
+                _check_iid(assessment, context=f"campaign {index}")
+    fitter = get_estimator(config.estimator_name)
+    estimates = fitter.fit_batch(matrix, config)
+    intervals: List[Optional[Dict[float, Tuple[float, float]]]]
+    if config.bootstrap > 0:
+        intervals = _bootstrap_intervals(matrix, config, fitter)
+    else:
+        intervals = [None] * len(rows)
+    return [
+        _assemble_result(samples, assessment, estimate, config, fitter, ci)
+        for samples, assessment, estimate, ci in zip(
+            rows, assessments, estimates, intervals
+        )
+    ]
+
+
+def _bootstrap_intervals(
+    matrix: np.ndarray,
+    config: MbptaConfig,
+    fitter: Estimator,
+) -> List[Dict[float, Tuple[float, float]]]:
+    """Percentile bootstrap CIs of the pWCET at every configured cutoff.
+
+    Each campaign's runs are resampled with replacement ``config.bootstrap``
+    times, the estimator is refitted on every resample (one
+    :meth:`Estimator.fit_batch` call over the stacked
+    ``(n_campaigns * n_resamples, n_runs)`` matrix) and the
+    :data:`BOOTSTRAP_CONFIDENCE` percentile interval of the refitted pWCETs
+    is reported.  The resampling plan depends only on the run count, so the
+    batched and per-campaign paths produce identical intervals.
+    """
+    n_campaigns, n_runs = matrix.shape
+    n_resamples = config.bootstrap
+    rng = np.random.default_rng(_BOOTSTRAP_SEED)
+    indices = rng.integers(0, n_runs, size=(n_resamples, n_runs))
+    resampled = matrix[:, indices].reshape(n_campaigns * n_resamples, n_runs)
+    estimates = fitter.fit_batch(resampled, config)
+    low_percentile = 100.0 * (1.0 - BOOTSTRAP_CONFIDENCE) / 2.0
+    high_percentile = 100.0 - low_percentile
+    intervals: List[Dict[float, Tuple[float, float]]] = []
+    for campaign in range(n_campaigns):
+        per_cutoff: Dict[float, Tuple[float, float]] = {}
+        campaign_estimates = estimates[
+            campaign * n_resamples : (campaign + 1) * n_resamples
+        ]
+        for probability in config.exceedance_probabilities:
+            values = np.array(
+                [estimate.curve.pwcet(probability) for estimate in campaign_estimates]
+            )
+            per_cutoff[probability] = (
+                float(np.percentile(values, low_percentile)),
+                float(np.percentile(values, high_percentile)),
+            )
+        intervals.append(per_cutoff)
+    return intervals

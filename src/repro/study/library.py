@@ -35,8 +35,7 @@ from ..analysis.experiments import (
 from ..analysis.hwm import industrial_bound
 from ..hardware import FpgaDevice, hrp_module_cost, integrate_on_fpga, rm_module_cost
 from ..core.placement import PlacementGeometry
-from ..mbpta.evt import empirical_ccdf
-from ..mbpta.protocol import MbptaConfig
+from ..pwcet import MbptaConfig, empirical_ccdf
 from ..workloads.eembc import eembc_kernel_names
 from ..workloads.synthetic import SYNTHETIC_FOOTPRINTS
 from .registry import Study, StudyContext, register_study
@@ -46,11 +45,19 @@ __all__ = ["register_builtin_studies"]
 
 
 def _mbpta_config(settings: ExperimentSettings) -> MbptaConfig:
-    """The per-scenario MBPTA configuration the legacy drivers used."""
-    return replace(
+    """The per-scenario MBPTA configuration the legacy drivers used.
+
+    ``settings.estimator`` (the CLI's ``--estimator`` / ``REPRO_ESTIMATOR``)
+    overrides the config's estimator; left empty, the config default
+    (``gumbel-pwm``) keeps the historical byte-identical outputs.
+    """
+    config = replace(
         settings.mbpta,
         exceedance_probabilities=(settings.secondary_cutoff, settings.cutoff),
     )
+    if settings.estimator:
+        config = replace(config, fit_method=settings.estimator)
+    return config
 
 
 def _base_scenario(

@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..mbpta.protocol import MBPTA_MIN_RUNS
+from ..pwcet.protocol import MBPTA_MIN_RUNS
 from .resultset import ResultSet
 from .runner import execute_scenarios
 from .scenario import Scenario, Sweep, expand

@@ -110,13 +110,17 @@ def execute_scenarios(
 
     outcomes = []
     for scenario in scenarios:
-        executed = resolved[scenario.spec_hash()]
+        spec_hash = scenario.spec_hash()
+        executed = resolved[spec_hash]
         outcomes.append(
             ScenarioOutcome(
                 scenario=scenario,
                 campaign=executed.campaign,
                 from_cache=executed.from_cache,
                 miss_summary=dict(executed.miss_summary),
+                spec_hash=spec_hash,
+                store=store,
+                use_analysis_cache=use_cache,
             )
         )
     return ResultSet(outcomes, report=report)

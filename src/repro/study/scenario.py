@@ -36,7 +36,7 @@ from typing import Callable, Dict, List, Mapping, Sequence, Tuple, Union
 
 from ..cache.hierarchy import HierarchyConfig
 from ..cpu.trace import Trace
-from ..mbpta.protocol import MbptaConfig
+from ..pwcet.protocol import MbptaConfig
 from ..platform.leon3 import Leon3Parameters, leon3_hierarchy, platform_setup
 from ..workloads.base import MemoryLayout
 from ..workloads.eembc import EembcLayoutTraceBuilder, eembc_trace

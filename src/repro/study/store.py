@@ -9,6 +9,13 @@ scenario would produce or nothing — there is no invalidation logic to get
 wrong.  Re-running a study therefore only simulates scenarios whose spec
 hash is new.
 
+pWCET analyses are persisted alongside, under
+``analysis/<spec_hash>.<analysis_config_hash>.json``: the second key is
+:meth:`repro.pwcet.MbptaConfig.analysis_hash`, the hash of every
+analysis-determining knob (estimator, block size, significance, cutoffs,
+bootstrap count).  A warm ``study run`` therefore resolves both the
+campaign *and* its EVT analysis from disk and performs zero fits.
+
 The store is deliberately forgiving: unreadable, truncated or
 version-mismatched files are treated as cache misses (and overwritten by
 the next save), never as errors.  Saves are atomic (write to a temporary
@@ -22,7 +29,7 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..analysis.campaign import CampaignResult
 from .scenario import SPEC_VERSION, Scenario
@@ -126,8 +133,59 @@ class ResultStore:
         os.replace(temporary, path)
         return path
 
+    # ------------------------------------------------------- pWCET analyses
+
+    @property
+    def analysis_root(self) -> Path:
+        """Directory of persisted pWCET analyses (a store subdirectory, so
+        campaign entries and :meth:`keys` are unaffected)."""
+        return self.root / "analysis"
+
+    def analysis_path_for(self, spec_hash: str, analysis_hash: str) -> Path:
+        return self.analysis_root / f"{spec_hash}.{analysis_hash}.json"
+
+    def load_analysis(
+        self, spec_hash: str, analysis_hash: str
+    ) -> Optional[Dict[str, object]]:
+        """The persisted analysis payload for the key pair, or ``None``.
+
+        The payload is returned as plain data; interpretation (and version
+        checking) belongs to :func:`repro.pwcet.analysis_from_payload`.
+        Unreadable entries are misses, never errors.
+        """
+        try:
+            payload = json.loads(self.analysis_path_for(spec_hash, analysis_hash).read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        return payload
+
+    def save_analysis(
+        self, spec_hash: str, analysis_hash: str, payload: Dict[str, object]
+    ) -> Path:
+        """Persist one analysis payload atomically; returns the entry path."""
+        self.analysis_root.mkdir(parents=True, exist_ok=True)
+        path = self.analysis_path_for(spec_hash, analysis_hash)
+        temporary = path.with_suffix(".json.tmp")
+        temporary.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(temporary, path)
+        return path
+
+    def analysis_keys(self) -> List[Tuple[str, str]]:
+        """(spec_hash, analysis_hash) pairs currently stored (sorted)."""
+        if not self.analysis_root.is_dir():
+            return []
+        pairs = []
+        for path in self.analysis_root.glob("*.json"):
+            spec_hash, _, analysis_hash = path.stem.partition(".")
+            if analysis_hash:
+                pairs.append((spec_hash, analysis_hash))
+        return sorted(pairs)
+
     def clear(self) -> int:
-        """Delete every stored result; returns how many were removed."""
+        """Delete every stored result and analysis; returns how many were
+        removed (campaign entries and analysis entries each count as one)."""
         removed = 0
         if not self.root.is_dir():
             return removed
@@ -136,4 +194,10 @@ class ResultStore:
             removed += 1
         for path in self.root.glob("*.json.tmp"):
             path.unlink()
+        if self.analysis_root.is_dir():
+            for path in self.analysis_root.glob("*.json"):
+                path.unlink()
+                removed += 1
+            for path in self.analysis_root.glob("*.json.tmp"):
+                path.unlink()
         return removed

@@ -62,6 +62,86 @@ class TestEngineSelection:
         assert "pWCET" in capsys.readouterr().out
 
 
+class TestEstimatorSelection:
+    def test_estimator_choices_come_from_registry(self):
+        from repro.pwcet import available_estimators
+
+        parser = build_parser()
+        args = parser.parse_args(["run", "fig5", "--estimator", "gumbel-mle"])
+        assert args.estimator == "gumbel-mle"
+        assert set(available_estimators()) >= {
+            "gumbel-pwm",
+            "gumbel-mle",
+            "exponential-excess",
+        }
+
+    def test_unregistered_estimator_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig5", "--estimator", "weibull"])
+
+    def test_run_with_exponential_excess(self, capsys):
+        assert main(
+            ["run", "fig5", "--runs", "20", "--scale", "0.25",
+             "--estimator", "exponential-excess"]
+        ) == 0
+        assert "pWCET" in capsys.readouterr().out
+
+    def test_legacy_alias_accepted_from_environment(self, capsys, monkeypatch):
+        # REPRO_ESTIMATOR accepts the historical fit_method spellings.
+        monkeypatch.setenv("REPRO_ESTIMATOR", "pwm")
+        assert main(["run", "fig5", "--runs", "20", "--scale", "0.25"]) == 0
+        assert "pWCET" in capsys.readouterr().out
+
+    def test_bad_environment_estimator_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ESTIMATOR", "weibull")
+        with pytest.raises(SystemExit):
+            main(["run", "fig5", "--runs", "20", "--scale", "0.25"])
+
+
+class TestPwcetCommand:
+    def test_pwcet_list(self, capsys):
+        assert main(["pwcet", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "gumbel-pwm" in output
+        assert "peaks-over-threshold" in output
+
+    def test_pwcet_compare(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(
+            ["pwcet", "compare", "fig5", "--runs", "24", "--scale", "0.25",
+             "--store", store]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "pWCET estimator comparison" in output
+        assert "pWCET gumbel-pwm" in output
+        assert "pWCET exponential-excess" in output
+
+    def test_pwcet_compare_subset_with_bootstrap(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(
+            ["pwcet", "compare", "fig5", "--runs", "24", "--scale", "0.25",
+             "--store", store, "--estimators", "gumbel-pwm", "--bootstrap", "20"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "pWCET gumbel-pwm" in output
+        assert "gumbel-mle" not in output
+        assert "[" in output  # confidence interval rendered
+
+    def test_pwcet_compare_rejects_tiny_campaign(self, capsys):
+        assert main(["pwcet", "compare", "fig5", "--runs", "8"]) == 2
+        assert "at least" in capsys.readouterr().err
+
+    def test_pwcet_compare_honors_singular_estimator_flag(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(
+            ["pwcet", "compare", "fig5", "--runs", "24", "--scale", "0.25",
+             "--store", store, "--estimator", "gumbel-mle"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "pWCET gumbel-mle" in output
+        assert "gumbel-pwm" not in output
+
+
 class TestOutputFormats:
     def test_json_format_is_parseable_and_self_identifying(self, capsys):
         assert main(["run", "table1", "--format", "json"]) == 0
@@ -86,3 +166,27 @@ class TestOutputFormats:
         assert main(["run", "table1"]) == 0
         out = capsys.readouterr().out
         assert "Table 1" in out and "finished" in out
+
+    def test_json_format_surfaces_discarded_runs(self, capsys):
+        # 25 runs -> effective block size 2 -> one trailing run is discarded
+        # by block-maxima grouping, and --format json must say so.
+        assert main(
+            ["run", "fig1", "--runs", "25", "--scale", "0.25", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        analysis = payload["analysis"]
+        assert analysis["a2time/rm"]["discarded_runs"] == 1.0
+        assert analysis["a2time/rm"]["estimator"] == "gumbel-pwm"
+
+    def test_json_format_analysis_follows_estimator(self, capsys):
+        assert main(
+            ["run", "fig5", "--runs", "24", "--scale", "0.25",
+             "--estimator", "exponential-excess", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        estimators = {
+            entry["estimator"] for entry in payload["analysis"].values()
+        }
+        assert estimators == {"exponential-excess"}
+        for entry in payload["analysis"].values():
+            assert entry["discarded_runs"] == 0.0

@@ -1,0 +1,74 @@
+"""Tests for the industrial high-water-mark baseline (analysis/hwm.py)."""
+
+import pytest
+
+from repro.analysis.hwm import (
+    DEFAULT_ENGINEERING_MARGIN,
+    HwmBound,
+    high_water_mark,
+    industrial_bound,
+)
+
+
+class TestHighWaterMark:
+    def test_returns_maximum(self):
+        assert high_water_mark([3.0, 9.0, 1.0]) == 9.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="must not be empty"):
+            high_water_mark([])
+
+
+class TestHwmBound:
+    def test_bound_applies_margin(self):
+        bound = HwmBound(hwm=1000.0, margin=0.20)
+        assert bound.bound == pytest.approx(1200.0)
+
+    def test_zero_margin_bound_equals_hwm(self):
+        bound = HwmBound(hwm=1000.0, margin=0.0)
+        assert bound.bound == 1000.0
+        assert bound.within_margin(1000.0)
+        assert not bound.within_margin(1000.0000001)
+
+    def test_pwcet_ratio(self):
+        bound = HwmBound(hwm=1000.0, margin=0.20)
+        assert bound.pwcet_ratio(1070.0) == pytest.approx(1.07)
+        assert bound.pwcet_ratio(1000.0) == 1.0
+
+    def test_pwcet_ratio_rejects_non_positive_hwm(self):
+        with pytest.raises(ValueError, match="positive"):
+            HwmBound(hwm=0.0, margin=0.20).pwcet_ratio(100.0)
+        with pytest.raises(ValueError, match="positive"):
+            HwmBound(hwm=-5.0, margin=0.20).pwcet_ratio(100.0)
+
+    def test_within_margin_boundary_is_inclusive(self):
+        bound = HwmBound(hwm=1000.0, margin=0.20)
+        assert bound.within_margin(bound.bound)
+        assert not bound.within_margin(bound.bound * (1.0 + 1e-9))
+
+    def test_pwcet_below_hwm_is_within_margin(self):
+        bound = HwmBound(hwm=1000.0, margin=0.20)
+        assert bound.within_margin(900.0)
+        assert bound.pwcet_ratio(900.0) < 1.0
+
+
+class TestIndustrialBound:
+    def test_default_margin_is_twenty_percent(self):
+        bound = industrial_bound([10.0, 50.0, 30.0])
+        assert bound.margin == DEFAULT_ENGINEERING_MARGIN == 0.20
+        assert bound.hwm == 50.0
+        assert bound.bound == pytest.approx(60.0)
+
+    def test_custom_margin(self):
+        assert industrial_bound([100.0], margin=0.5).bound == pytest.approx(150.0)
+
+    def test_zero_margin_allowed(self):
+        assert industrial_bound([100.0], margin=0.0).bound == 100.0
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            industrial_bound([100.0], margin=-0.1)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError, match="must not be empty"):
+            industrial_bound([])

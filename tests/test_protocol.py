@@ -82,3 +82,44 @@ class TestApplyMbpta:
         result = apply_mbpta(gumbel_sample(300, seed=6), config=config)
         assert result.fit.method == "mle"
         assert result.pwcet_at(1e-12) > result.high_water_mark
+
+
+class TestDiscardedRuns:
+    """block_maxima drops a trailing partial block; the result reports it."""
+
+    def test_non_multiple_sample_reports_discard(self):
+        # 25 runs with an effective block size of min(20, 25 // 10) = 2:
+        # 12 blocks cover 24 runs, one run is dropped.
+        result = apply_mbpta(gumbel_sample(25, seed=7))
+        assert result.curve.block_size == 2
+        assert result.discarded_runs == 1
+        assert result.summary()["discarded_runs"] == 1.0
+
+    def test_multiple_sample_discards_nothing(self):
+        result = apply_mbpta(gumbel_sample(300, seed=8))
+        assert result.curve.block_size == 20
+        assert result.discarded_runs == 0
+
+    def test_block_size_one_discards_nothing(self):
+        result = apply_mbpta(gumbel_sample(23, seed=9), config=MbptaConfig(block_size=1))
+        assert result.curve.block_size == 1
+        assert result.discarded_runs == 0
+
+
+class TestBootstrapIntervals:
+    def test_disabled_by_default(self):
+        result = apply_mbpta(gumbel_sample(100, seed=10))
+        assert result.pwcet_ci == {}
+
+    def test_intervals_bracket_reasonably(self):
+        config = MbptaConfig(bootstrap=60)
+        result = apply_mbpta(gumbel_sample(400, seed=11), config=config)
+        assert set(result.pwcet_ci) == set(config.exceedance_probabilities)
+        for probability, (low, high) in result.pwcet_ci.items():
+            assert low <= high
+            # The interval is around the point estimate's order of magnitude.
+            assert low < result.pwcet[probability] * 1.5
+            assert high > result.pwcet[probability] * 0.5
+        summary = result.summary()
+        assert "pwcet@1e-15_ci_low" in summary
+        assert "pwcet@1e-15_ci_high" in summary

@@ -1,0 +1,230 @@
+"""Batch-pipeline equivalence: vectorized MBPTA must match the scalar path.
+
+The acceptance bar for the batch pipeline is **exact float equality** with
+the per-campaign loop — for synthetic corner cases here and, in
+:class:`TestAllStudiesEquality`, for the real campaigns of every registered
+study.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.analysis.experiments import ExperimentSettings
+from repro.pwcet import (
+    MBPTA_MIN_RUNS,
+    MbptaConfig,
+    apply_mbpta,
+    apply_mbpta_batch,
+    available_estimators,
+    compare_estimators,
+    fit_gumbel,
+    fit_gumbel_batch,
+    iid_assessment,
+    iid_assessment_batch,
+)
+from repro.study import available_studies, get_study
+from repro.study.runner import execute_scenarios
+
+
+def assert_results_identical(batch, scalar):
+    """Field-by-field exact equality of two MbptaResult objects."""
+    assert batch.assessment == scalar.assessment
+    assert batch.fit == scalar.fit
+    assert batch.curve == scalar.curve
+    assert batch.pwcet == scalar.pwcet
+    assert batch.pwcet_ci == scalar.pwcet_ci
+    assert batch.discarded_runs == scalar.discarded_runs
+    assert batch.estimator == scalar.estimator
+    assert list(batch.samples) == list(scalar.samples)
+
+
+def sample_matrices():
+    """Corner-case matrices: ties, odd lengths, degenerate and trending rows."""
+    rng = np.random.default_rng(7)
+    rounded = np.round(
+        scipy_stats.gumbel_r.rvs(loc=20000, scale=300, size=(12, 300), random_state=rng)
+    )
+    odd = scipy_stats.gumbel_r.rvs(loc=5000, scale=90, size=(9, 253), random_state=rng)
+    mixed = np.vstack(
+        [
+            np.full((2, 40), 1234.0),  # fully degenerate
+            np.linspace(0.0, 1000.0, 40)[None, :].repeat(2, axis=0),  # trending
+            np.round(  # heavy ties at the threshold
+                scipy_stats.gumbel_r.rvs(loc=100, scale=2, size=(8, 40), random_state=rng)
+            ),
+        ]
+    )
+    return {"rounded": rounded, "odd-length": odd, "mixed": mixed}
+
+
+class TestAdmissionBatteryEquality:
+    @pytest.mark.parametrize("name", ["rounded", "odd-length", "mixed"])
+    def test_iid_assessment_batch_bitwise_equal(self, name):
+        matrix = sample_matrices()[name]
+        batch = iid_assessment_batch(matrix)
+        for row, assessment in zip(matrix, batch):
+            assert assessment == iid_assessment(list(row))
+
+    def test_batch_rejects_1d_input(self):
+        with pytest.raises(ValueError, match="2-D"):
+            iid_assessment_batch(np.arange(40.0))
+
+
+class TestFitBatchEquality:
+    @pytest.mark.parametrize("block_size", [1, 2, 7, 20])
+    def test_fit_gumbel_batch_bitwise_equal(self, block_size):
+        matrix = sample_matrices()["rounded"]
+        batch = fit_gumbel_batch(matrix, block_size=block_size)
+        for row, fit in zip(matrix, batch):
+            assert fit == fit_gumbel(list(row), block_size=block_size)
+
+    def test_mle_batch_matches_loop(self):
+        matrix = sample_matrices()["rounded"][:3]
+        batch = fit_gumbel_batch(matrix, block_size=5, method="mle")
+        for row, fit in zip(matrix, batch):
+            assert fit == fit_gumbel(list(row), block_size=5, method="mle")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown fit method"):
+            fit_gumbel_batch(sample_matrices()["mixed"], method="moments")
+
+
+class TestPipelineEquality:
+    @pytest.mark.parametrize("estimator", ["gumbel-pwm", "gumbel-mle", "exponential-excess"])
+    @pytest.mark.parametrize("name", ["rounded", "mixed"])
+    def test_batch_equals_scalar_loop(self, estimator, name):
+        matrix = sample_matrices()[name]
+        config = MbptaConfig()
+        batch = apply_mbpta_batch(matrix, config=config, estimator=estimator)
+        for row, result in zip(matrix, batch):
+            assert_results_identical(
+                result, apply_mbpta(list(row), config=config, estimator=estimator)
+            )
+
+    def test_bootstrap_intervals_identical(self):
+        matrix = sample_matrices()["rounded"][:4]
+        config = MbptaConfig(bootstrap=30)
+        batch = apply_mbpta_batch(matrix, config=config)
+        for row, result in zip(matrix, batch):
+            scalar = apply_mbpta(list(row), config=config)
+            assert result.pwcet_ci == scalar.pwcet_ci
+            for low, high in result.pwcet_ci.values():
+                assert low <= high
+
+    def test_bootstrap_deterministic(self):
+        matrix = sample_matrices()["rounded"][:2]
+        config = MbptaConfig(bootstrap=20)
+        first = apply_mbpta_batch(matrix, config=config)
+        second = apply_mbpta_batch(matrix, config=config)
+        assert [r.pwcet_ci for r in first] == [r.pwcet_ci for r in second]
+
+    def test_rejects_under_minimum_runs(self):
+        with pytest.raises(ValueError, match="at least"):
+            apply_mbpta_batch(np.ones((3, MBPTA_MIN_RUNS - 1)))
+
+    def test_ragged_input_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            apply_mbpta_batch([[1.0] * 24, [1.0] * 30])
+
+    def test_flat_sample_rejected_with_clear_error(self):
+        # A single campaign passed without the enclosing list is the most
+        # likely caller mistake; it must get the shape error, not a
+        # TypeError from the row iteration.
+        with pytest.raises(ValueError, match="2-D"):
+            apply_mbpta_batch([1.0] * 30)
+
+    def test_require_iid_names_failing_campaign(self):
+        matrix = np.vstack(
+            [
+                np.round(
+                    scipy_stats.gumbel_r.rvs(
+                        loc=100, scale=10, size=(1, 300),
+                        random_state=np.random.default_rng(3),
+                    )
+                ),
+                np.linspace(0.0, 1000.0, 300)[None, :],
+            ]
+        )
+        with pytest.raises(ValueError, match="campaign 1 failed"):
+            apply_mbpta_batch(matrix, require_iid=True)
+
+
+class TestAllStudiesEquality:
+    """The acceptance criterion: batch == loop over every registered study."""
+
+    SETTINGS = ExperimentSettings(runs=24, scale=0.25)
+
+    @pytest.mark.parametrize("study_name", sorted(available_studies()))
+    def test_batched_pipeline_matches_per_campaign_path(self, study_name):
+        study = get_study(study_name)
+        scenarios = study.plan(self.SETTINGS)
+        if not any(scenario.runs >= MBPTA_MIN_RUNS for scenario in scenarios):
+            pytest.skip(f"{study_name} runs no MBPTA-eligible campaigns")
+        results = execute_scenarios(scenarios)
+        groups = {}
+        for outcome in results:
+            if outcome.campaign.runs < MBPTA_MIN_RUNS:
+                continue
+            key = (outcome.campaign.runs, outcome.scenario.mbpta)
+            groups.setdefault(key, []).append(outcome)
+        assert groups, f"{study_name} produced no eligible campaigns"
+        for (_, config), outcomes in groups.items():
+            batch = apply_mbpta_batch(
+                [outcome.campaign.execution_times for outcome in outcomes],
+                config=config,
+            )
+            for outcome, result in zip(outcomes, batch):
+                assert_results_identical(
+                    result,
+                    apply_mbpta(outcome.campaign.execution_times, config=config),
+                )
+
+
+class TestCompareEstimators:
+    def test_cross_view_over_all_estimators(self):
+        rng = np.random.default_rng(11)
+        samples = {
+            "a": list(
+                np.round(
+                    scipy_stats.gumbel_r.rvs(
+                        loc=20000, scale=300, size=240, random_state=rng
+                    )
+                )
+            ),
+            "b": list(
+                np.round(
+                    scipy_stats.gumbel_r.rvs(
+                        loc=30000, scale=150, size=300, random_state=rng
+                    )
+                )
+            ),
+        }
+        comparison = compare_estimators(samples)
+        assert comparison.labels == ["a", "b"]
+        assert set(comparison.estimators) == set(available_estimators())
+        for label in samples:
+            for name in comparison.estimators:
+                assert comparison.pwcet(label, name, 1e-15) > max(samples[label])
+        rendered = comparison.format()
+        assert "pWCET gumbel-pwm" in rendered
+        assert "i.i.d. ok" in rendered
+
+    def test_matches_apply_mbpta(self):
+        rng = np.random.default_rng(12)
+        samples = {
+            "only": list(
+                scipy_stats.gumbel_r.rvs(loc=500, scale=20, size=200, random_state=rng)
+            )
+        }
+        comparison = compare_estimators(samples, estimators=["gumbel-pwm"])
+        direct = apply_mbpta(samples["only"])
+        assert comparison.cells["only"]["gumbel-pwm"]["pwcet"] == direct.pwcet
+
+    def test_rejects_unknown_estimator(self):
+        with pytest.raises(ValueError, match="registered estimators"):
+            compare_estimators({"a": [1.0] * 40}, estimators=["weibull"])
+
+    def test_rejects_short_campaign(self):
+        with pytest.raises(ValueError, match="at least"):
+            compare_estimators({"a": [1.0] * 10})

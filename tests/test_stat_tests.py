@@ -5,10 +5,13 @@ import pytest
 from scipy import stats as scipy_stats
 
 from repro.mbpta.tests import (
+    STEPHENS_EXPONENTIAL_W2_POINTS,
     exponential_tail_test,
     identical_distribution_test,
     iid_assessment,
     ks_two_sample_test,
+    stephens_critical_value,
+    stephens_p_value,
     wald_wolfowitz_test,
 )
 
@@ -120,6 +123,56 @@ class TestExponentialTail:
     def test_rejects_bad_tail_fraction(self):
         with pytest.raises(ValueError):
             exponential_tail_test(gumbel_sample(100), tail_fraction=0.9)
+
+
+class TestStephensTable:
+    """The ET p-value interpolates Stephens' critical-value table."""
+
+    def test_tabulated_points_are_exact(self):
+        for alpha, critical in STEPHENS_EXPONENTIAL_W2_POINTS:
+            assert stephens_p_value(critical) == alpha
+            assert stephens_critical_value(alpha) == pytest.approx(critical)
+
+    def test_five_percent_boundary(self):
+        # The historical hard-coded decision point: W2* = 0.224 at 5 %.
+        assert stephens_critical_value(0.05) == 0.224
+        assert stephens_p_value(0.224) == 0.05
+        assert stephens_p_value(0.224 - 1e-9) > 0.05
+        assert stephens_p_value(0.224 + 1e-9) < 0.05
+
+    def test_p_value_monotone_decreasing(self):
+        grid = np.linspace(0.0, 0.6, 200)
+        values = [stephens_p_value(float(w)) for w in grid]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_extrapolation_is_clamped(self):
+        assert stephens_p_value(0.0) == 1.0
+        assert stephens_p_value(1e-6) <= 1.0
+        assert 0.0 < stephens_p_value(5.0) < 0.01
+
+    def test_interpolation_between_points(self):
+        # Between the 10 % (0.177) and 5 % (0.224) rows.
+        middle = stephens_p_value(0.2)
+        assert 0.05 < middle < 0.10
+
+    def test_critical_value_rejects_bad_significance(self):
+        with pytest.raises(ValueError):
+            stephens_critical_value(0.0)
+        with pytest.raises(ValueError):
+            stephens_critical_value(1.0)
+
+    def test_decision_at_boundary_matches_p_value(self):
+        # A sample whose statistic lands near the critical point must have a
+        # consistent (passed, p_value) pair.
+        rng = np.random.default_rng(18)
+        samples = list(rng.exponential(scale=100.0, size=400))
+        result = exponential_tail_test(samples)
+        assert result.passed == (result.statistic < 0.224)
+        assert result.passed == (result.p_value > 0.05)
+
+    def test_et_p_value_comes_from_table(self):
+        result = exponential_tail_test(gumbel_sample(800, seed=13))
+        assert result.p_value == stephens_p_value(result.statistic)
 
 
 class TestIidAssessment:

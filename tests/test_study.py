@@ -513,8 +513,10 @@ class TestStudyCli:
         assert main(["study", "run", "fig5", "--runs", "24", "--store", store]) == 0
         capsys.readouterr()
         assert main(["study", "clean", "--store", store]) == 0
-        assert "removed 2 stored result(s)" in capsys.readouterr().out
+        # fig5 stores 2 campaigns plus the 2 pWCET analyses derived from them.
+        assert "removed 4 stored result(s)" in capsys.readouterr().out
         assert ResultStore(store).keys() == []
+        assert ResultStore(store).analysis_keys() == []
 
     def test_study_compare_self_is_identity(self, tmp_path, capsys):
         store = str(tmp_path / "store")
