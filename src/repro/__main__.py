@@ -22,6 +22,12 @@ Usage::
     python -m repro pwcet list                  # registered pWCET estimators
     python -m repro pwcet compare fig5 --runs 24  # all estimators side by side
 
+    python -m repro study run fig5 --shard-size 8 --jobs 2   # sharded pipeline
+    python -m repro study run fig5 --shard-size 8 --resume   # finish a killed run
+    python -m repro worker                      # attach an external worker
+    python -m repro exec status                 # queue + worker telemetry
+    python -m repro study clean --analyses-only --older-than 7d
+
 Each experiment id corresponds to one table/figure of the paper (see
 DESIGN.md's per-experiment index); both surfaces resolve ids through the
 study registry (:mod:`repro.study`).  ``run`` always simulates — the
@@ -43,6 +49,14 @@ benches print), ``json`` (one object per experiment, including per-scenario
 cache miss rates) or ``csv`` (``experiment,key,value`` rows) — with
 non-text formats the progress chatter moves to stderr so stdout stays
 machine-readable.
+
+``study run --shard-size N`` routes every seed campaign through the
+sharded work-queue pipeline (:mod:`repro.exec`): campaigns are split into
+seed-range shards, persisted shard by shard, and reassembled bit-exactly —
+a killed run loses at most its in-flight shards and ``--resume`` executes
+only the missing ones.  ``python -m repro worker`` attaches an external
+worker process to the same queue, and ``python -m repro exec status``
+shows queue occupancy plus per-worker heartbeat telemetry.
 """
 
 from __future__ import annotations
@@ -156,6 +170,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore stored results (fresh simulations are still stored)",
     )
+    study_run.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        dest="shard_size",
+        help="execute seed campaigns through the sharded work-queue pipeline, "
+        "N runs per shard (bit-exact with serial execution; enables --resume)",
+    )
+    study_run.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse shard entries a previous (killed) sharded run already "
+        "published and execute only the missing shards",
+    )
 
     study_compare = study_commands.add_parser(
         "compare", help="run two studies and compare scenarios sharing a label"
@@ -166,8 +194,62 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign_arguments(study_compare, include_format=False)
     _add_store_argument(study_compare)
 
-    study_clean = study_commands.add_parser("clean", help="delete the result store")
+    study_clean = study_commands.add_parser(
+        "clean", help="delete the result store (or garbage-collect parts of it)"
+    )
     _add_store_argument(study_clean)
+    study_clean.add_argument(
+        "--analyses-only",
+        action="store_true",
+        help="only remove persisted pWCET analyses (campaign results stay)",
+    )
+    study_clean.add_argument(
+        "--older-than",
+        default=None,
+        metavar="AGE",
+        help="age-based sweep instead of a full wipe: remove derived entries "
+        "(analyses; plus shard/queue leftovers unless --analyses-only) older "
+        "than AGE (seconds, or a number with an s/m/h/d suffix, e.g. 7d)",
+    )
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="attach one shard worker to a store's work queue (repro.exec)",
+    )
+    _add_store_argument(worker)
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable owner id for leases/telemetry (default: host-pid-nonce)",
+    )
+    worker.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        help="seconds before an unrefreshed shard lease may be reclaimed",
+    )
+    worker.add_argument(
+        "--max-shards",
+        type=int,
+        default=None,
+        help="exit after executing this many shards (default: drain the queue)",
+    )
+    worker.add_argument(
+        "--throttle",
+        type=float,
+        default=None,
+        help="sleep this many seconds between claiming and executing a shard "
+        "(load shaping; also honours REPRO_EXEC_THROTTLE)",
+    )
+
+    exec_parser = subparsers.add_parser(
+        "exec", help="sharded-execution introspection (repro.exec)"
+    )
+    exec_commands = exec_parser.add_subparsers(dest="exec_command", required=True)
+    exec_status = exec_commands.add_parser(
+        "status", help="show queue occupancy and worker heartbeat telemetry"
+    )
+    _add_store_argument(exec_status)
 
     pwcet = subparsers.add_parser(
         "pwcet", help="pWCET estimator registry and cross-estimator views"
@@ -215,7 +297,31 @@ def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
         settings = replace(settings, engine=args.engine)
     if getattr(args, "estimator", None) is not None:
         settings = replace(settings, estimator=args.estimator)
+    if getattr(args, "shard_size", None) is not None:
+        settings = replace(settings, shard_size=args.shard_size)
+    if getattr(args, "resume", False):
+        settings = replace(settings, resume=True)
     return settings
+
+
+def _parse_age(text: str) -> float:
+    """Parse an ``--older-than`` age: plain seconds or an s/m/h/d suffix."""
+    text = text.strip().lower()
+    scales = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    scale = 1.0
+    if text and text[-1] in scales:
+        scale = scales[text[-1]]
+        text = text[:-1]
+    try:
+        seconds = float(text) * scale
+    except ValueError:
+        raise ValueError(
+            f"invalid age {text!r}; expected seconds or a number with an "
+            "s/m/h/d suffix (e.g. 90, 45m, 7d)"
+        ) from None
+    if seconds < 0:
+        raise ValueError(f"age must be >= 0, got {seconds}")
+    return seconds
 
 
 def _validate_run_request(targets, settings: ExperimentSettings) -> Optional[str]:
@@ -327,6 +433,10 @@ def _validated_settings(
     # a bad value is rejected with a clean message wherever it came from.
     if settings.jobs < 0:
         parser.error(f"jobs must be >= 0 (0 = one worker per CPU), got {settings.jobs}")
+    if settings.shard_size is not None and settings.shard_size < 1:
+        parser.error(f"shard-size must be >= 1, got {settings.shard_size}")
+    if settings.resume and settings.shard_size is None:
+        parser.error("--resume only applies to sharded runs; pass --shard-size too")
     try:
         get_engine(settings.engine)  # catches bad REPRO_ENGINE values too
         if settings.estimator:
@@ -357,6 +467,9 @@ def main(argv: list[str] | None = None) -> int:
         settings = _validated_settings(parser, args, targets)
         if settings is None:
             return 2
+        # Sharded execution needs the result store; plain `run` has none, so
+        # a REPRO_SHARD_SIZE from the environment must not apply here.
+        settings = replace(settings, shard_size=None, resume=False)
         if args.output_format == "csv":
             print(CSV_HEADER)
         for identifier in targets:
@@ -365,6 +478,32 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "pwcet":
         return _pwcet_command(parser, args)
+
+    if args.command == "worker":
+        from .exec.worker import run_worker
+
+        store = ResultStore(args.store)
+        if args.max_shards is not None and args.max_shards < 1:
+            parser.error(f"--max-shards must be >= 1, got {args.max_shards}")
+        kwargs = {}
+        if args.worker_id is not None:
+            kwargs["worker_id"] = args.worker_id
+        if args.lease_ttl is not None:
+            kwargs["lease_ttl"] = args.lease_ttl
+        if args.max_shards is not None:
+            kwargs["max_shards"] = args.max_shards
+        if args.throttle is not None:
+            kwargs["throttle"] = args.throttle
+        stats = run_worker(store.queue_root, store.root, **kwargs)
+        print(stats.summary())
+        return 0
+
+    if args.command == "exec":
+        # exec_command == "status" (the only subcommand today)
+        from .exec.status import format_exec_status
+
+        print(format_exec_status(ResultStore(args.store)))
+        return 0
 
     # command == "study"
     if args.study_command == "list":
@@ -375,8 +514,24 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.study_command == "clean":
-        removed = ResultStore(args.store).clear()
-        print(f"removed {removed} stored result(s) from {args.store}")
+        store = ResultStore(args.store)
+        if args.older_than is not None:
+            try:
+                age = _parse_age(args.older_than)
+            except ValueError as error:
+                parser.error(str(error))
+            removed = store.sweep(age, analyses_only=args.analyses_only)
+            what = "analysis entries" if args.analyses_only else "derived entries"
+            print(
+                f"swept {removed} {what} older than {args.older_than} "
+                f"from {args.store}"
+            )
+        elif args.analyses_only:
+            removed = store.sweep(0.0, analyses_only=True)
+            print(f"removed {removed} analysis entries from {args.store}")
+        else:
+            removed = store.clear()
+            print(f"removed {removed} stored result(s) from {args.store}")
         return 0
 
     store = ResultStore(args.store)

@@ -90,6 +90,13 @@ class ExperimentSettings:
     :func:`repro.pwcet.available_estimators`; ``REPRO_ESTIMATOR`` overrides
     it from the environment).  Left empty, the MBPTA config default
     (``gumbel-pwm``) applies — the historical behaviour.
+
+    ``shard_size`` (``REPRO_SHARD_SIZE``) routes seed campaigns through the
+    sharded work-queue pipeline (:mod:`repro.exec`): each campaign is split
+    into seed-range shards persisted individually, so a killed ``study run``
+    can be resumed with ``resume=True`` (CLI ``--resume``) executing only
+    the missing shards.  Sharded campaigns are bit-exact with serial
+    execution and require a result store.
     """
 
     runs: int = 300
@@ -98,6 +105,8 @@ class ExperimentSettings:
     engine: str = "fast"
     jobs: int = 1
     estimator: str = ""
+    shard_size: Optional[int] = None
+    resume: bool = False
     cutoff: float = 1e-15
     secondary_cutoff: float = 1e-12
     mbpta: MbptaConfig = field(default_factory=MbptaConfig)
@@ -125,6 +134,9 @@ class ExperimentSettings:
         estimator = os.environ.get("REPRO_ESTIMATOR", "").strip()
         if estimator:
             settings = replace(settings, estimator=estimator)
+        shard_size = os.environ.get("REPRO_SHARD_SIZE", "").strip()
+        if shard_size:
+            settings = replace(settings, shard_size=int(shard_size))
         return settings
 
     def setup(self, name: str) -> HierarchyConfig:

@@ -1,64 +1,30 @@
-"""Process-pool parallel execution of measurement campaigns.
+"""Process-pool parallel execution of measurement campaigns (compatibility shim).
 
-MBPTA campaigns are embarrassingly parallel by construction: every run gets
-an independent per-run seed derived deterministically from the campaign
-master seed, and runs never share cache state.  This module exploits that by
-partitioning the (deterministic, precomputed) seed list into contiguous
-chunks, shipping the pickled :class:`~repro.cache.fastsim.CompiledTrace` and
-:class:`~repro.cache.hierarchy.HierarchyConfig` to each worker process
-exactly once, simulating one chunk per task, and reassembling the per-run
-results in seed order.
-
-Engine selection happens **by registry name in the parent**
-(:func:`repro.engine.get_engine`, so unknown names fail fast with the
-registered list); the *resolved* :class:`~repro.engine.Engine` object is
-then shipped to each worker alongside the picklable inputs, and the worker
-rebuilds that engine's simulator locally (every built-in engine carries
-``requires_pickle=True``, i.e. it is reconstructible from exactly those
-inputs).  Shipping the object rather than the name means user-registered
-engines work under spawn-based start methods too, where workers re-import
-:mod:`repro.engine` and would only see the built-ins; the engine object
-itself must be picklable (a module-level class — true for all built-ins).
-Any registered engine therefore composes with ``jobs=N`` — including the
-vectorized numpy engine, where each worker simulates its whole seed chunk
-as one array program.
-
-Because each worker simulates exactly the run the serial loop would have
-simulated for the same seed — fresh caches, fresh placement/replacement
-streams, no shared mutable state — the reassembled campaign is **bit-exact**
-with the serial path: ``run_campaign(..., jobs=4)`` returns the same
-execution times as ``jobs=1`` for the same master seed.
-
-The same machinery parallelises deterministic layout campaigns
-(:func:`repro.analysis.campaign.run_layout_campaign`): there the unit of
-work is one :class:`~repro.workloads.base.MemoryLayout`, for which the
-worker rebuilds the trace and replays it with the fixed seed 0.  The
-``trace_builder`` shipped to the workers must be picklable under spawn-based
-multiprocessing start methods (a plain function or a dataclass such as
-:class:`repro.workloads.eembc.EembcLayoutTraceBuilder`; under the default
-``fork`` start method on Linux any callable works).
+The pool machinery moved to :mod:`repro.exec.pool`, the in-process tier of
+the :mod:`repro.exec` execution subsystem — campaigns are partitioned by the
+shard planner (:mod:`repro.exec.plan`) and reassembled in seed order, so
+``run_campaign(..., jobs=N)`` stays **bit-exact** with serial execution for
+any worker count and chunk size.  This module re-exports the public surface
+(and the worker entry points, which are process-pool targets and must stay
+importable by path) so existing imports keep working.  New code should
+import from :mod:`repro.exec` directly.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
-
-from ..cache.fastsim import CompiledTrace, FastRunResult
-from ..cache.hierarchy import HierarchyConfig
-from ..core.prng import derive_run_seeds
-from ..cpu.core import (
-    ExecutionTimingModel,
-    TraceDrivenCore,
-    TraceRunResult,
-    timing_overhead_cycles,
-    wrap_fast_result,
+from ..exec.plan import DEFAULT_SHARD_SIZE as DEFAULT_CHUNK_SIZE
+from ..exec.plan import resolve_jobs
+from ..exec.pool import (
+    _init_layout_worker,
+    _init_seed_worker,
+    _run_layout_chunk,
+    _run_seed_chunk,
+    _worker_layout_state,
+    _worker_simulator,
+    partition_chunks,
+    run_campaign_parallel,
+    run_layout_campaign_parallel,
 )
-from ..cpu.trace import Trace
-from ..engine import Engine, EngineSimulator, get_engine
-from ..workloads.base import MemoryLayout
-from .campaign import CampaignResult
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
@@ -67,196 +33,3 @@ __all__ = [
     "run_campaign_parallel",
     "run_layout_campaign_parallel",
 ]
-
-_T = TypeVar("_T")
-
-#: Upper bound on the number of work units shipped per task.  Chunks larger
-#: than this stop helping (the per-run simulation dominates) while hurting
-#: load balance at the end of the campaign.
-DEFAULT_CHUNK_SIZE = 32
-
-
-def resolve_jobs(jobs: Optional[int]) -> int:
-    """Normalise a ``jobs`` request to a concrete worker count.
-
-    ``None`` and ``0`` mean "one worker per available CPU"; positive values
-    are taken literally; negative values are rejected.
-    """
-    if jobs is None or jobs == 0:
-        return os.cpu_count() or 1
-    if jobs < 0:
-        raise ValueError(f"jobs must be >= 0 (0 = all CPUs), got {jobs}")
-    return jobs
-
-
-def partition_chunks(
-    items: Sequence[_T], jobs: int, chunk_size: Optional[int] = None
-) -> List[Tuple[int, List[_T]]]:
-    """Split ``items`` into contiguous ``(start_index, chunk)`` pairs.
-
-    When ``chunk_size`` is not given, items are split into about four chunks
-    per worker (capped at :data:`DEFAULT_CHUNK_SIZE`) so that stragglers can
-    be balanced without drowning the pool in tiny tasks.
-    """
-    if chunk_size is None:
-        chunk_size = max(1, min(DEFAULT_CHUNK_SIZE, -(-len(items) // (jobs * 4))))
-    if chunk_size < 1:
-        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-    return [
-        (start, list(items[start : start + chunk_size]))
-        for start in range(0, len(items), chunk_size)
-    ]
-
-
-# ---------------------------------------------------------------------------
-# Worker-side state and entry points
-#
-# Each worker receives its inputs once, through the pool initializer, and
-# keeps the built simulator in module globals; per-task payloads are then
-# just (start_index, chunk) pairs.
-# ---------------------------------------------------------------------------
-
-_worker_simulator: Optional[EngineSimulator] = None
-_worker_layout_state: Optional[Tuple[Callable, HierarchyConfig, ExecutionTimingModel, Engine]] = None
-
-
-def _init_seed_worker(
-    config: HierarchyConfig, compiled: CompiledTrace, engine: Engine
-) -> None:
-    global _worker_simulator
-    _worker_simulator = engine.simulator(config, compiled)
-
-
-def _run_seed_chunk(chunk: Tuple[int, List[int]]) -> Tuple[int, List[FastRunResult]]:
-    start, seeds = chunk
-    assert _worker_simulator is not None, "worker initializer did not run"
-    return start, _worker_simulator.run_batch(seeds)
-
-
-def _init_layout_worker(
-    trace_builder: Callable[[MemoryLayout], Trace],
-    config: HierarchyConfig,
-    timing: ExecutionTimingModel,
-    engine: Engine,
-) -> None:
-    global _worker_layout_state
-    _worker_layout_state = (trace_builder, config, timing, engine)
-
-
-def _run_layout_chunk(
-    chunk: Tuple[int, List[MemoryLayout]]
-) -> Tuple[int, str, List[int]]:
-    start, layouts = chunk
-    assert _worker_layout_state is not None, "worker initializer did not run"
-    trace_builder, config, timing, engine = _worker_layout_state
-    name = ""
-    cycles: List[int] = []
-    for layout in layouts:
-        trace = trace_builder(layout)
-        name = trace.name
-        core = TraceDrivenCore(config, trace, timing=timing)
-        cycles.append(core.run(0, engine=engine).cycles)
-    return start, name, cycles
-
-
-# ---------------------------------------------------------------------------
-# Campaign executors
-# ---------------------------------------------------------------------------
-
-def run_campaign_parallel(
-    trace: Trace,
-    config: HierarchyConfig,
-    runs: int,
-    master_seed: int = 0,
-    setup: str = "",
-    engine: str = "fast",
-    timing: ExecutionTimingModel = ExecutionTimingModel(),
-    keep_run_results: bool = False,
-    jobs: Optional[int] = None,
-    chunk_size: Optional[int] = None,
-) -> CampaignResult:
-    """Parallel, bit-exact equivalent of :func:`~repro.analysis.campaign.run_campaign`.
-
-    The per-run seed list is derived up front (it only depends on
-    ``master_seed``), partitioned into contiguous chunks, and distributed
-    over ``jobs`` worker processes.  Results are reassembled in seed order,
-    so the returned :class:`CampaignResult` is identical to the serial one.
-    """
-    if runs < 1:
-        raise ValueError(f"runs must be >= 1, got {runs}")
-    # Resolve in the parent (unknown names fail with the registry's listing);
-    # the resolved engine object is what gets shipped to the workers.
-    backend = get_engine(engine)
-    jobs = min(resolve_jobs(jobs), runs)
-    seeds = derive_run_seeds(master_seed, runs)
-    overhead_cycles = timing_overhead_cycles(trace, timing)
-    accesses = len(trace)
-
-    compiled = CompiledTrace(trace, line_size=config.il1.line_size)
-    chunks = partition_chunks(seeds, jobs, chunk_size)
-    fast_results: List[Optional[FastRunResult]] = [None] * runs
-    with ProcessPoolExecutor(
-        max_workers=jobs,
-        initializer=_init_seed_worker,
-        initargs=(config, compiled, backend),
-    ) as pool:
-        for start, results in pool.map(_run_seed_chunk, chunks):
-            fast_results[start : start + len(results)] = results
-
-    execution_times = [result.cycles + overhead_cycles for result in fast_results]
-    run_results: List[TraceRunResult] = []
-    if keep_run_results:
-        run_results = [
-            wrap_fast_result(result, overhead_cycles, accesses)
-            for result in fast_results
-        ]
-    return CampaignResult(
-        workload=trace.name,
-        setup=setup or f"{config.il1.placement}/{config.il1.replacement}",
-        execution_times=execution_times,
-        run_results=run_results,
-        master_seed=master_seed,
-    )
-
-
-def run_layout_campaign_parallel(
-    trace_builder: Callable[[MemoryLayout], Trace],
-    config: HierarchyConfig,
-    layouts: Sequence[MemoryLayout],
-    master_seed: int = 0,
-    setup: str = "deterministic",
-    engine: str = "fast",
-    timing: ExecutionTimingModel = ExecutionTimingModel(),
-    jobs: Optional[int] = None,
-    chunk_size: Optional[int] = None,
-) -> CampaignResult:
-    """Parallel, bit-exact equivalent of :func:`~repro.analysis.campaign.run_layout_campaign`.
-
-    One unit of work is one memory layout: the worker rebuilds the trace for
-    that layout and replays it with the fixed hierarchy seed 0 (deterministic
-    platforms ignore the seed).  ``layouts`` must already be materialised so
-    that serial and parallel campaigns consume the same layout sequence.
-    """
-    if not layouts:
-        raise ValueError("layout campaign needs at least one memory layout")
-    # Resolve in the parent (unknown names fail with the registry's listing);
-    # the resolved engine object is what gets shipped to the workers.
-    backend = get_engine(engine)
-    jobs = min(resolve_jobs(jobs), len(layouts))
-    chunks = partition_chunks(list(layouts), jobs, chunk_size)
-    execution_times: List[Optional[int]] = [None] * len(layouts)
-    name = ""
-    with ProcessPoolExecutor(
-        max_workers=jobs,
-        initializer=_init_layout_worker,
-        initargs=(trace_builder, config, timing, backend),
-    ) as pool:
-        for start, chunk_name, cycles in pool.map(_run_layout_chunk, chunks):
-            execution_times[start : start + len(cycles)] = cycles
-            name = chunk_name
-    return CampaignResult(
-        workload=name,
-        setup=setup,
-        execution_times=list(execution_times),
-        master_seed=master_seed,
-    )

@@ -1,0 +1,227 @@
+"""Store-backed sharded campaign execution: plan → lease → execute →
+publish → reassemble.
+
+This is the persistent, crash-resumable tier of :mod:`repro.exec`.  One
+scenario's campaign is split by the planner into ``(spec_hash,
+seed-range)`` shards, the missing ones are enqueued as self-contained
+tasks in the store's :class:`~repro.exec.queue.FileQueue`, workers (an
+in-process pool here; external ``python -m repro worker`` processes may
+join against the same directory) lease and execute them through the engine
+registry, and every finished shard is published as a content-hash-keyed
+entry under the store's ``shards/`` directory.  The reassembler then
+merges the entries in seed order into a :class:`CampaignResult` that is
+**bit-exact** with serial execution for any shard size and worker count —
+including its miss summary, which is rebuilt from the per-run counters
+with the same floating-point arithmetic the in-memory path uses.
+
+Crash-resume falls out of the content addressing: a killed campaign leaves
+its published shards in the store and its unfinished tasks (plus at most
+one stale lease per dead worker) in the queue.  Re-planning is
+deterministic, so a rerun with ``resume=True`` reuses every published
+shard and only executes the missing ones; without ``resume`` the partial
+entries are dropped first and the campaign starts clean.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.campaign import CampaignResult
+from ..engine import get_engine
+from ..study.scenario import Scenario
+from ..study.store import ResultStore
+from .plan import Shard, plan_shards, resolve_jobs, resolve_shard_size
+from .queue import DEFAULT_LEASE_TTL, FileQueue
+from .worker import run_worker, shard_task
+
+__all__ = [
+    "ShardReport",
+    "execute_scenario_sharded",
+    "reassemble_campaign",
+]
+
+
+@dataclass
+class ShardReport:
+    """How one scenario's shards were resolved."""
+
+    planned: int = 0
+    reused: int = 0
+    executed: int = 0
+
+    def merge(self, other: "ShardReport") -> None:
+        self.planned += other.planned
+        self.reused += other.reused
+        self.executed += other.executed
+
+
+def reassemble_campaign(
+    scenario: Scenario, shards: Sequence[Shard], store: ResultStore
+) -> Tuple[CampaignResult, Dict[str, float]]:
+    """Merge published shard entries in seed order into one campaign.
+
+    Raises :class:`RuntimeError` naming the missing shards when the store
+    does not hold the complete plan (e.g. a worker died and nobody resumed
+    the campaign).
+    """
+    spec_hash = scenario.spec_hash()
+    ordered = sorted(shards, key=lambda shard: shard.start)
+    cycles: List[int] = []
+    counters: Dict[str, List[int]] = {
+        "memory_accesses": [],
+        "il1_misses": [],
+        "dl1_misses": [],
+        "l2_misses": [],
+    }
+    workload = ""
+    missing: List[str] = []
+    for shard in ordered:
+        payload = store.load_shard(spec_hash, shard.key)
+        if payload is None or len(payload.get("cycles", ())) != shard.count:
+            missing.append(shard.key)
+            continue
+        cycles.extend(int(value) for value in payload["cycles"])
+        for name in counters:
+            counters[name].extend(int(value) for value in payload.get(name, ()))
+        workload = str(payload.get("workload", workload))
+    if missing:
+        raise RuntimeError(
+            f"campaign {spec_hash[:12]} is missing {len(missing)} of "
+            f"{len(ordered)} shard(s) ({', '.join(missing[:4])}"
+            f"{', ...' if len(missing) > 4 else ''}); rerun with resume to "
+            "execute them, or 'python -m repro exec status' to inspect leases"
+        )
+    campaign = CampaignResult(
+        workload=workload,
+        setup=scenario.display_label,
+        execution_times=cycles,
+        master_seed=scenario.effective_seed,
+    )
+    return campaign, _miss_summary(counters, len(cycles))
+
+
+def _miss_summary(counters: Dict[str, List[int]], runs: int) -> Dict[str, float]:
+    """Rebuild :meth:`CampaignResult.miss_summary` from shard counters.
+
+    Counter sums are integer-exact and divided once, so the result is
+    bit-identical to averaging the in-memory per-run results — any shard
+    partition reassembles to the same floats.
+    """
+    if not all(len(values) == runs for values in counters.values()):
+        return {}
+    summary = {name: sum(values) / runs for name, values in counters.items()}
+    accesses = summary["memory_accesses"]
+    for level in ("il1", "dl1", "l2"):
+        summary[f"{level}_miss_rate"] = (
+            summary[f"{level}_misses"] / accesses if accesses else 0.0
+        )
+    return summary
+
+
+def execute_scenario_sharded(
+    scenario: Scenario,
+    store: ResultStore,
+    jobs: Optional[int] = None,
+    shard_size: Optional[int] = None,
+    resume: bool = False,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+) -> Tuple[CampaignResult, Dict[str, float], ShardReport]:
+    """Execute one seed campaign through the sharded work-queue pipeline.
+
+    ``jobs`` defaults to the scenario's own ``jobs`` field (``0`` = one
+    worker per CPU); ``shard_size`` defaults to the planner's heuristic.
+    With ``resume=True`` shard entries already published for this spec hash
+    are reused and only the missing shards execute; otherwise stale partials
+    are dropped first.  Returns the reassembled campaign (bit-exact with
+    serial execution), its miss summary, and the shard accounting.
+    """
+    if scenario.campaign != "seeds":
+        raise ValueError(
+            "sharded execution covers seed campaigns; layout campaigns run "
+            "through the in-process pool (repro.exec.pool)"
+        )
+    get_engine(scenario.engine)  # unknown engines fail before any work
+    spec_hash = scenario.spec_hash()
+    workers = min(resolve_jobs(scenario.jobs if jobs is None else jobs), scenario.runs)
+    size = resolve_shard_size(scenario.runs, workers, shard_size)
+    shards = plan_shards(spec_hash, scenario.runs, size)
+    if not resume:
+        store.clear_shards(spec_hash)
+    missing = [
+        shard for shard in shards if store.load_shard(spec_hash, shard.key) is None
+    ]
+    report = ShardReport(
+        planned=len(shards), reused=len(shards) - len(missing), executed=len(missing)
+    )
+    if missing:
+        queue = FileQueue(store.queue_root)
+        for shard in missing:
+            queue.enqueue(shard_task(scenario, shard, scenario.engine))
+        workers = min(workers, len(missing))
+        if workers <= 1:
+            run_worker(queue.root, store.root, lease_ttl=lease_ttl)
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(
+                        run_worker,
+                        str(queue.root),
+                        str(store.root),
+                        lease_ttl=lease_ttl,
+                    )
+                    for _ in range(workers)
+                ]
+                for future in futures:
+                    future.result()
+        _await_foreign_shards(scenario, shards, store, queue, lease_ttl)
+    campaign, miss_summary = reassemble_campaign(scenario, shards, store)
+    return campaign, miss_summary, report
+
+
+def _await_foreign_shards(
+    scenario: Scenario,
+    shards: Sequence[Shard],
+    store: ResultStore,
+    queue: FileQueue,
+    lease_ttl: float,
+    poll: float = 0.2,
+) -> None:
+    """Block until every planned shard is published.
+
+    The worker loop only executes what it can claim; a shard leased by a
+    live foreign owner — an attached ``python -m repro worker``, or an
+    orphaned pool worker of a killed coordinator — is left alone.  Those
+    shards are waited out here: each either gets published by its owner or
+    its lease dies (pid gone, or TTL expiry), at which point an inline
+    worker pass reclaims and executes it.  A retired task whose shard entry
+    has since vanished (e.g. an aggressive ``study clean`` sweep) is
+    re-enqueued, so the loop always makes progress toward a full plan.
+    """
+    spec_hash = scenario.spec_hash()
+    while True:
+        missing = [
+            shard
+            for shard in shards
+            if store.load_shard(spec_hash, shard.key) is None
+        ]
+        if not missing:
+            return
+        claimable = waiting = False
+        for shard in missing:
+            task_path = queue.task_path(spec_hash, shard.key)
+            if not task_path.exists():
+                queue.enqueue(shard_task(scenario, shard, scenario.engine))
+                claimable = True
+                continue
+            lease = queue.lease_for(task_path)
+            if lease is None or not lease.active():
+                claimable = True
+            else:
+                waiting = True
+        if claimable:
+            run_worker(queue.root, store.root, lease_ttl=lease_ttl)
+        elif waiting:
+            time.sleep(poll)

@@ -1,0 +1,114 @@
+"""Shard planning: split a campaign into independent seed-range shards.
+
+A *shard* is the unit of distributable work in :mod:`repro.exec`: a
+contiguous ``(start, count)`` slice of one campaign's per-run seed list,
+identified by the campaign's **spec hash** plus the slice coordinates.
+Because per-run seeds derive deterministically from the campaign master
+seed (:func:`repro.core.prng.derive_run_seeds`) and runs never share cache
+state, any partition of the seed list can be executed in any order, by any
+number of workers, on any host — and reassembling the per-shard results in
+seed order reproduces the serial campaign bit-exactly.
+
+The plan itself is pure data and deterministic: ``plan_shards(spec_hash,
+runs, shard_size)`` always yields the same shards, so a crashed campaign
+re-plans identically on resume and published shard entries (keyed by
+``(spec_hash, shard.key)``) line up with the new plan.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "Shard",
+    "plan_shards",
+    "resolve_jobs",
+    "resolve_shard_size",
+    "shard_key",
+]
+
+#: Upper bound on the number of runs per shard.  Shards larger than this
+#: stop helping (per-run simulation dominates) while hurting load balance
+#: and crash-resume granularity at the end of a campaign.
+DEFAULT_SHARD_SIZE = 32
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``jobs`` request to a concrete worker count.
+
+    ``None`` and ``0`` mean "one worker per available CPU"; positive values
+    are taken literally; negative values are rejected.
+    """
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0 (0 = all CPUs), got {jobs}")
+    return jobs
+
+
+def resolve_shard_size(
+    total: int, jobs: int, shard_size: Optional[int] = None
+) -> int:
+    """Normalise a shard-size request for ``total`` work units.
+
+    When ``shard_size`` is not given, work is split into about four shards
+    per worker (capped at :data:`DEFAULT_SHARD_SIZE`) so that stragglers
+    can be balanced without drowning the pool in tiny tasks.
+    """
+    if shard_size is None:
+        shard_size = max(1, min(DEFAULT_SHARD_SIZE, -(-total // (jobs * 4))))
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    return shard_size
+
+
+def shard_key(start: int, count: int) -> str:
+    """The canonical slice identifier used in queue and store file names."""
+    return f"{start:08d}x{count:06d}"
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One ``(spec_hash, seed-range)`` slice of a campaign."""
+
+    spec_hash: str
+    index: int
+    total: int
+    start: int
+    count: int
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.count
+
+    @property
+    def key(self) -> str:
+        """Slice identifier; with ``spec_hash`` it names the shard's files."""
+        return shard_key(self.start, self.count)
+
+
+def plan_shards(spec_hash: str, runs: int, shard_size: int) -> List[Shard]:
+    """Split a ``runs``-run campaign into contiguous seed-range shards.
+
+    The plan is deterministic in ``(runs, shard_size)``: resuming a
+    campaign with the same shard size re-plans the exact same shards, so
+    already-published shard entries are found again.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    starts = list(range(0, runs, shard_size))
+    return [
+        Shard(
+            spec_hash=spec_hash,
+            index=index,
+            total=len(starts),
+            start=start,
+            count=min(shard_size, runs - start),
+        )
+        for index, start in enumerate(starts)
+    ]

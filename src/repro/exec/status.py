@@ -1,0 +1,98 @@
+"""The ``python -m repro exec status`` view: queue, shards, workers.
+
+Renders the observable state of a sharded campaign from its on-disk
+artifacts alone — pending tasks and active leases per spec hash from the
+queue, published shard entries from the store, and per-worker
+heartbeat/progress telemetry — so an operator can answer "is this campaign
+making progress, and who is working on it?" without attaching to any
+process.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from ..analysis.report import format_table
+from ..study.store import ResultStore
+from .queue import FileQueue
+from .telemetry import read_heartbeats
+
+__all__ = ["format_exec_status"]
+
+
+def _spec_of(stem: str) -> str:
+    """The spec hash of a ``<spec_hash>.<key>`` task/entry file stem."""
+    return stem.partition(".")[0]
+
+
+def format_exec_status(store: ResultStore, now: float | None = None) -> str:
+    """One human-readable status report for the store's shard queue."""
+    now = time.time() if now is None else now
+    queue = FileQueue(store.queue_root)
+
+    per_spec: Dict[str, Dict[str, int]] = {}
+
+    def bucket(spec_hash: str) -> Dict[str, int]:
+        return per_spec.setdefault(
+            spec_hash, {"pending": 0, "leased": 0, "published": 0}
+        )
+
+    for task_path in queue.tasks():
+        entry = bucket(_spec_of(task_path.stem))
+        entry["pending"] += 1
+        lease = queue.lease_for(task_path)
+        if lease is not None and lease.active(now):
+            entry["leased"] += 1
+    for spec_hash, _key in store.shard_keys():
+        bucket(spec_hash)["published"] += 1
+
+    lines: List[str] = [f"shard queue: {queue.root}"]
+    if per_spec:
+        rows = [
+            (
+                spec_hash[:12],
+                counts["pending"],
+                counts["leased"],
+                counts["published"],
+            )
+            for spec_hash, counts in sorted(per_spec.items())
+        ]
+        lines.append(
+            format_table(["spec", "pending", "leased", "published"], rows)
+        )
+    else:
+        lines.append("no pending shards and no published shard entries")
+
+    beats = read_heartbeats(queue)
+    if beats:
+        rows = []
+        for beat in beats:
+            if beat.finished:
+                state = "finished"
+            elif beat.alive():
+                state = "alive"
+            else:
+                state = "dead"
+            rows.append(
+                (
+                    beat.owner,
+                    beat.pid,
+                    state,
+                    beat.shards_claimed,
+                    beat.shards_done,
+                    beat.runs_done,
+                    f"{beat.runs_per_second:.1f}",
+                    f"{beat.age(now):.1f}s ago",
+                )
+            )
+        lines.append("")
+        lines.append(
+            format_table(
+                ["worker", "pid", "state", "claimed", "done", "runs", "runs/s", "heartbeat"],
+                rows,
+            )
+        )
+    else:
+        lines.append("no worker heartbeats recorded")
+    return "\n".join(lines)

@@ -1,0 +1,219 @@
+"""Shard workers: claim, execute, publish.
+
+A worker is a claim loop over a :class:`~repro.exec.queue.FileQueue`: lease
+one shard, rebuild its simulation from the self-contained task payload
+(canonical scenario spec + engine name + seed slice), run it through the
+engine registry, publish the per-run results as a content-hash-keyed shard
+entry in the :class:`~repro.study.store.ResultStore`, retire the task, and
+repeat until nothing is claimable.  The same loop backs both execution
+modes:
+
+* **in-process pool** — the sharded executor submits ``run_worker`` to a
+  process pool, one call per worker (:mod:`repro.exec.executor`);
+* **external processes** — ``python -m repro worker --store DIR`` runs the
+  identical loop against the same queue directory, so extra workers (or,
+  with a shared filesystem, extra hosts) can be attached to a campaign
+  that another process planned.
+
+Workers resolve engines **by registry name**; external workers therefore
+see the built-in engines (plus whatever their interpreter registered at
+import time).  Shard execution is deterministic and publishing is an
+atomic, idempotent replace, so a shard accidentally executed twice (e.g.
+after a lease-reclaim race) lands as identical bytes.
+
+``REPRO_EXEC_THROTTLE`` (seconds, float) inserts a sleep between claiming
+and executing each shard — a load-shaping knob that also makes
+kill-mid-shard scenarios deterministic to test.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..cache.fastsim import CompiledTrace, FastRunResult
+from ..core.prng import derive_run_seeds
+from ..cpu.core import ExecutionTimingModel, timing_overhead_cycles
+from ..engine import get_engine
+from ..study.scenario import SPEC_VERSION, Scenario, scenario_from_spec
+from ..study.store import ResultStore
+from .plan import Shard, shard_key
+from .queue import DEFAULT_LEASE_TTL, FileQueue, default_owner_id
+from .telemetry import WorkerTelemetry
+
+__all__ = [
+    "ShardRunner",
+    "WorkerStats",
+    "run_worker",
+    "shard_task",
+    "shard_payload_from_results",
+]
+
+#: Environment knob: seconds to sleep between claiming and executing each
+#: shard (load shaping / deterministic kill-testing).
+THROTTLE_ENV = "REPRO_EXEC_THROTTLE"
+
+
+def shard_task(scenario: Scenario, shard: Shard, engine: str) -> Dict[str, object]:
+    """The self-contained JSON task a worker needs to execute ``shard``."""
+    return {
+        "version": SPEC_VERSION,
+        "spec_hash": shard.spec_hash,
+        "key": shard.key,
+        "start": shard.start,
+        "count": shard.count,
+        "total": shard.total,
+        "engine": engine,
+        "spec": scenario.spec_dict(),
+    }
+
+
+def shard_payload_from_results(
+    task: Dict[str, object],
+    workload: str,
+    results: List[FastRunResult],
+    overhead_cycles: int,
+) -> Dict[str, object]:
+    """Flatten one shard's run results into the published store entry.
+
+    Cycles include the execute-stage overhead, exactly as the serial
+    campaign path records them; the per-run miss counters carry everything
+    the reassembler needs to rebuild the campaign's miss summary with
+    identical floating-point arithmetic.
+    """
+    return {
+        "version": SPEC_VERSION,
+        "spec_hash": task["spec_hash"],
+        "key": task["key"],
+        "start": task["start"],
+        "count": task["count"],
+        "workload": workload,
+        "engine": task["engine"],
+        "cycles": [result.cycles + overhead_cycles for result in results],
+        "memory_accesses": [result.memory_accesses for result in results],
+        "il1_misses": [result.il1_misses for result in results],
+        "dl1_misses": [result.dl1_misses for result in results],
+        "l2_misses": [result.l2_misses for result in results],
+    }
+
+
+class ShardRunner:
+    """Executes shard tasks, caching the built simulation per spec hash.
+
+    A worker draining a queue typically sees many shards of few campaigns;
+    building (trace, compiled trace, simulator, seed list) once per spec
+    hash keeps the per-shard cost at the simulation itself.
+    """
+
+    def __init__(self) -> None:
+        self._built: Dict[str, Tuple[str, object, int, List[int]]] = {}
+
+    def execute(self, task: Dict[str, object]) -> Dict[str, object]:
+        """Run one task's seed slice; returns the publishable shard entry."""
+        spec_hash = str(task["spec_hash"])
+        engine_name = str(task["engine"])
+        cache_key = f"{spec_hash}.{engine_name}"
+        built = self._built.get(cache_key)
+        if built is None:
+            scenario = scenario_from_spec(task["spec"])  # type: ignore[arg-type]
+            if scenario.spec_hash() != spec_hash:
+                raise ValueError(
+                    f"task spec hash {spec_hash[:12]} does not match its spec "
+                    "payload; refusing to execute a corrupt task"
+                )
+            config = scenario.hierarchy.config()
+            trace = scenario.workload.build_trace()
+            compiled = CompiledTrace(trace, line_size=config.il1.line_size)
+            simulator = get_engine(engine_name).simulator(config, compiled)
+            overhead = timing_overhead_cycles(trace, ExecutionTimingModel())
+            seeds = derive_run_seeds(scenario.effective_seed, scenario.runs)
+            built = (trace.name, simulator, overhead, seeds)
+            self._built[cache_key] = built
+        workload, simulator, overhead, seeds = built
+        start, count = int(task["start"]), int(task["count"])
+        if start < 0 or count < 1 or start + count > len(seeds):
+            raise ValueError(
+                f"shard slice [{start}, {start + count}) is outside the "
+                f"campaign's {len(seeds)} runs"
+            )
+        results = simulator.run_batch(seeds[start : start + count])
+        return shard_payload_from_results(task, workload, results, overhead)
+
+
+@dataclass
+class WorkerStats:
+    """What one ``run_worker`` invocation accomplished."""
+
+    owner: str
+    shards_claimed: int = 0
+    shards_done: int = 0
+    shards_skipped: int = 0
+    runs_done: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"worker {self.owner}: {self.shards_done} shard(s) executed, "
+            f"{self.runs_done} run(s), {self.shards_skipped} already published"
+        )
+
+
+def run_worker(
+    queue_dir: Union[str, Path],
+    store_dir: Union[str, Path],
+    worker_id: Optional[str] = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    max_shards: Optional[int] = None,
+    throttle: Optional[float] = None,
+) -> WorkerStats:
+    """Drain claimable shards from a queue; returns this worker's stats.
+
+    The loop exits when no task is claimable (queue empty, or every
+    remaining shard is leased by a live owner) or after ``max_shards``
+    executed shards.  Tasks whose shard entry already exists in the store
+    are retired without re-execution, so a resumed queue converges even
+    when several workers race over it.
+    """
+    queue = FileQueue(queue_dir)
+    store = ResultStore(store_dir)
+    owner = worker_id or default_owner_id()
+    if throttle is None:
+        throttle = float(os.environ.get(THROTTLE_ENV, "0") or 0)
+    runner = ShardRunner()
+    telemetry = WorkerTelemetry(queue, owner)
+    stats = WorkerStats(owner=owner)
+    try:
+        while max_shards is None or stats.shards_done < max_shards:
+            claimed = False
+            for task_path in queue.tasks():
+                task = queue.read_task(task_path)
+                if task is None:
+                    continue
+                spec_hash, key = str(task["spec_hash"]), str(task["key"])
+                if store.load_shard(spec_hash, key) is not None:
+                    # Published by another worker (or a previous life of
+                    # this queue); just retire the task.
+                    queue.complete(task_path, owner)
+                    stats.shards_skipped += 1
+                    continue
+                if not queue.try_claim(task_path, owner, ttl=lease_ttl):
+                    continue
+                claimed = True
+                stats.shards_claimed += 1
+                telemetry.claimed()
+                if throttle > 0:
+                    time.sleep(throttle)
+                payload = runner.execute(task)
+                store.save_shard(spec_hash, key, payload)
+                queue.complete(task_path, owner)
+                stats.shards_done += 1
+                stats.runs_done += int(task["count"])
+                telemetry.published(runs=int(task["count"]))
+                break  # re-list: fresh ordering and max_shards accounting
+            if not claimed:
+                break
+    finally:
+        telemetry.finish()
+    return stats

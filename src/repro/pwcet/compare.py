@@ -19,7 +19,13 @@ from .admission import iid_assessment_batch
 from .protocol import MBPTA_MIN_RUNS, MbptaConfig, MbptaResult, apply_mbpta_batch
 from .registry import available_estimators, get_estimator
 
-__all__ = ["EstimatorComparison", "compare_estimators", "comparison_cell"]
+__all__ = [
+    "EstimatorComparison",
+    "assemble_comparison",
+    "compare_estimators",
+    "comparison_cell",
+    "resolve_estimator_names",
+]
 
 
 @dataclass
@@ -60,6 +66,49 @@ def comparison_cell(result: MbptaResult) -> Dict[str, object]:
     }
 
 
+def resolve_estimator_names(
+    estimators: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """Normalise an estimator selection to validated registry names.
+
+    ``None``/empty means every registered estimator; unknown names raise
+    before any analysis work starts.
+    """
+    names = list(estimators) if estimators else list(available_estimators())
+    for name in names:
+        get_estimator(name)
+    return names
+
+
+def assemble_comparison(
+    labels: Sequence[str],
+    names: Sequence[str],
+    cutoffs: Sequence[float],
+    hwm: Mapping[str, float],
+    analysis_for,
+) -> EstimatorComparison:
+    """Build an :class:`EstimatorComparison` from an analysis source.
+
+    ``analysis_for(label, estimator)`` returns the :class:`MbptaResult` for
+    one (campaign, estimator) pair — computed fresh, read from the batch
+    pipeline's output, or resolved from a result store's analysis cache.
+    This is the single assembly point shared by the raw-sample
+    :func:`compare_estimators` and
+    :meth:`repro.study.resultset.ResultSet.compare_estimators`.
+    """
+    cells: Dict[str, Dict[str, Dict[str, object]]] = {label: {} for label in labels}
+    for name in names:
+        for label in labels:
+            cells[label][name] = comparison_cell(analysis_for(label, name))
+    return EstimatorComparison(
+        labels=list(labels),
+        estimators=list(names),
+        cutoffs=tuple(cutoffs),
+        hwm=dict(hwm),
+        cells=cells,
+    )
+
+
 def compare_estimators(
     samples_by_label: Mapping[str, Sequence[float]],
     estimators: Optional[Sequence[str]] = None,
@@ -74,9 +123,7 @@ def compare_estimators(
     """
     if not samples_by_label:
         raise ValueError("samples_by_label must not be empty")
-    names = list(estimators) if estimators else list(available_estimators())
-    for name in names:
-        get_estimator(name)  # unknown estimators fail before any work
+    names = resolve_estimator_names(estimators)
     config = config or MbptaConfig()
     labels = list(samples_by_label)
     for label in labels:
@@ -88,7 +135,7 @@ def compare_estimators(
     by_length: Dict[int, List[str]] = {}
     for label in labels:
         by_length.setdefault(len(samples_by_label[label]), []).append(label)
-    cells: Dict[str, Dict[str, Dict[str, object]]] = {label: {} for label in labels}
+    results: Dict[Tuple[str, str], MbptaResult] = {}
     for group in by_length.values():
         rows = [samples_by_label[label] for label in group]
         # The admission battery is estimator-independent: run it once per
@@ -97,15 +144,15 @@ def compare_estimators(
             np.asarray(rows, dtype=float), config.significance
         )
         for name in names:
-            results = apply_mbpta_batch(
+            batch = apply_mbpta_batch(
                 rows, config=config, estimator=name, assessments=assessments
             )
-            for label, result in zip(group, results):
-                cells[label][name] = comparison_cell(result)
-    return EstimatorComparison(
-        labels=labels,
-        estimators=names,
-        cutoffs=tuple(config.exceedance_probabilities),
-        hwm={label: max(samples_by_label[label]) for label in labels},
-        cells=cells,
+            for label, result in zip(group, batch):
+                results[label, name] = result
+    return assemble_comparison(
+        labels,
+        names,
+        config.exceedance_probabilities,
+        {label: max(samples_by_label[label]) for label in labels},
+        lambda label, name: results[label, name],
     )

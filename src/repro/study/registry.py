@@ -100,7 +100,13 @@ class Study:
     ) -> StudyOutcome:
         """Plan, execute (through the store when given) and build."""
         scenarios = self.plan(settings, **params)
-        results = execute_scenarios(scenarios, store=store, use_cache=use_cache)
+        results = execute_scenarios(
+            scenarios,
+            store=store,
+            use_cache=use_cache,
+            shard_size=getattr(settings, "shard_size", None),
+            resume=getattr(settings, "resume", False),
+        )
         context = StudyContext(settings=settings, results=results, params=dict(params))
         return StudyOutcome(
             study=self, settings=settings, result=self.builder(context), results=results

@@ -36,11 +36,9 @@ from ..pwcet import (
     analysis_payload,
     apply_mbpta,
     apply_mbpta_batch,
-    available_estimators,
     empirical_ccdf,
-    get_estimator,
 )
-from ..pwcet.compare import comparison_cell
+from ..pwcet.compare import assemble_comparison, resolve_estimator_names
 from .scenario import Scenario
 from .store import ResultStore
 
@@ -62,6 +60,13 @@ class ExecutionReport:
     simulated: int = 0
     stored: int = 0
     batches: int = 0
+    #: Sharded-execution accounting (``repro.exec``); all zero unless the
+    #: plan ran with a shard size.  ``shards_reused`` counts entries a
+    #: previous (killed) run already published and a ``--resume`` rerun
+    #: did not have to execute again.
+    shards_planned: int = 0
+    shards_reused: int = 0
+    shards_executed: int = 0
 
     @property
     def full_cache_hit(self) -> bool:
@@ -77,11 +82,17 @@ class ExecutionReport:
                 f"resolved {self.cache_hits}/{self.planned} scenarios from the "
                 "result store (full cache hit)"
             )
-        return (
+        line = (
             f"simulated {self.simulated} of {self.planned} scenarios "
             f"({self.cache_hits} from the result store, {self.batches} engine "
             f"batches, {self.stored} new results stored)"
         )
+        if self.shards_planned:
+            line += (
+                f"; {self.shards_executed} of {self.shards_planned} shards "
+                f"executed ({self.shards_reused} reused)"
+            )
+        return line
 
 
 @dataclass
@@ -275,9 +286,7 @@ class ResultSet:
         adds percentile confidence intervals (a different analysis config,
         computed and cached separately).
         """
-        names = list(estimators) if estimators else list(available_estimators())
-        for name in names:
-            get_estimator(name)  # unknown estimators fail before any work
+        names = resolve_estimator_names(estimators)
         eligible = [
             outcome
             for outcome in self
@@ -303,21 +312,23 @@ class ResultSet:
                 outcome.scenario.mbpta, fit_method=name, bootstrap=bootstrap
             )
 
-        cells: Dict[str, Dict[str, Dict[str, object]]] = {}
+        # Warm the whole set per estimator first (one vectorized batch pass
+        # per (run count, config) group, store-cached) so the assembly
+        # callback below only reads memoised analyses.
+        by_label = {outcome.label: outcome for outcome in eligible}
         for name in names:
             self._analyze_all(lambda out, _name=name: config_for(out, _name))
-            for outcome in eligible:
-                result = outcome.analysis(config_for(outcome, name))
-                cells.setdefault(outcome.label, {})[name] = comparison_cell(result)
-        return EstimatorComparison(
-            labels=[outcome.label for outcome in eligible],
-            estimators=names,
-            cutoffs=tuple(eligible[0].scenario.mbpta.exceedance_probabilities),
-            hwm={
+        return assemble_comparison(
+            [outcome.label for outcome in eligible],
+            names,
+            eligible[0].scenario.mbpta.exceedance_probabilities,
+            {
                 outcome.label: max(outcome.campaign.execution_times)
                 for outcome in eligible
             },
-            cells=cells,
+            lambda label, name: by_label[label].analysis(
+                config_for(by_label[label], name)
+            ),
         )
 
     def analysis_summaries(self, estimator: str = "") -> Dict[str, Dict[str, object]]:

@@ -75,13 +75,26 @@ def execute_scenarios(
     scenarios: Sequence[Scenario],
     store: Optional[ResultStore] = None,
     use_cache: bool = True,
+    shard_size: Optional[int] = None,
+    resume: bool = False,
 ) -> ResultSet:
     """Execute a plan and return its :class:`ResultSet`.
 
     ``store`` enables the on-disk cache: hits skip simulation entirely and
     fresh results are persisted.  ``use_cache=False`` keeps writing results
     but ignores existing entries (a forced refresh).
+
+    ``shard_size`` switches seed campaigns onto the sharded work-queue
+    pipeline (:mod:`repro.exec`): each campaign is split into seed-range
+    shards executed through the store's file queue and published as
+    individual shard entries, so a killed run loses at most its in-flight
+    shards.  Requires a ``store``.  With ``resume=True`` the shard entries
+    a previous (killed) run already published are reused and only the
+    missing shards execute; the reassembled campaign is bit-exact with
+    serial execution either way.
     """
+    if shard_size is not None and store is None:
+        raise ValueError("sharded execution (shard_size) requires a result store")
     # ``planned`` counts unique specs: scenarios sharing a spec hash are one
     # unit of work (simulated or cache-resolved once), however many labels
     # they fan out to in the result set.
@@ -106,7 +119,7 @@ def execute_scenarios(
         pending.append(scenario)
         pending_hashes.add(spec_hash)
 
-    _simulate(pending, resolved, store, report)
+    _simulate(pending, resolved, store, report, shard_size=shard_size, resume=resume)
 
     outcomes = []
     for scenario in scenarios:
@@ -131,6 +144,8 @@ def _simulate(
     resolved: Dict[str, _Executed],
     store: Optional[ResultStore],
     report: ExecutionReport,
+    shard_size: Optional[int] = None,
+    resume: bool = False,
 ) -> None:
     """Simulate unique scenarios, grouped for trace and batch sharing."""
     by_workload: Dict[WorkloadSpec, List[Scenario]] = {}
@@ -144,6 +159,8 @@ def _simulate(
         for scenario in group:
             if scenario.campaign == "layouts":
                 _run_layouts(workload, scenario, resolved, store, report)
+            elif shard_size is not None:
+                _run_sharded(scenario, shard_size, resume, resolved, store, report)
             elif scenario.jobs != 1:
                 # Parallel campaigns go through the process-pool executor
                 # one scenario at a time (workers already batch per chunk).
@@ -192,6 +209,38 @@ def _simulate(
                 campaign, miss_summary = _campaign_from_batch(scenario, chunk)
                 campaign.workload = trace.name
                 _record(scenario, campaign, miss_summary, resolved, store, report)
+
+
+def _run_sharded(
+    scenario: Scenario,
+    shard_size: int,
+    resume: bool,
+    resolved: Dict[str, _Executed],
+    store: Optional[ResultStore],
+    report: ExecutionReport,
+) -> None:
+    """Execute one seed campaign through the sharded work-queue pipeline."""
+    # Imported lazily, like the parallel executor in run_campaign: repro.exec
+    # imports study modules at top level, so the study package must not
+    # import it during its own initialisation.
+    from ..exec.executor import execute_scenario_sharded
+
+    assert store is not None  # guarded in execute_scenarios
+    campaign, miss_summary, shard_report = execute_scenario_sharded(
+        scenario,
+        store,
+        jobs=scenario.jobs,
+        shard_size=shard_size,
+        resume=resume,
+    )
+    report.shards_planned += shard_report.planned
+    report.shards_reused += shard_report.reused
+    report.shards_executed += shard_report.executed
+    _record(scenario, campaign, miss_summary, resolved, store, report)
+    # The recorded campaign entry supersedes its shards; drop them so the
+    # store does not accumulate one shard file per seed range forever.
+    store.clear_shards(scenario.spec_hash())
+    report.batches += 1
 
 
 def _run_layouts(

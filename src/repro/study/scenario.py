@@ -49,6 +49,9 @@ __all__ = [
     "Scenario",
     "Sweep",
     "expand",
+    "workload_from_spec",
+    "hierarchy_from_spec",
+    "scenario_from_spec",
 ]
 
 #: Version of the canonical spec layout.  Bump whenever the meaning of a
@@ -299,6 +302,73 @@ class Scenario:
         """SHA-256 over the canonical JSON spec; keys the result store."""
         canonical = json.dumps(self.spec_dict(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("ascii")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Spec deserialization
+#
+# The canonical spec dicts produced by the spec_dict() methods round-trip:
+# a scenario rebuilt from its own spec dict hashes identically.  This is
+# what makes shard tasks (repro.exec) self-contained — a worker in another
+# process, on another host, rebuilds the exact simulation from JSON alone.
+# ---------------------------------------------------------------------------
+
+def workload_from_spec(spec: Mapping[str, object]) -> WorkloadSpec:
+    """Rebuild a :class:`WorkloadSpec` from its canonical spec dict."""
+    kind = str(spec["kind"])
+    if kind == "eembc":
+        return WorkloadSpec.eembc(str(spec["name"]), scale=float(spec["scale"]))  # type: ignore[arg-type]
+    if kind == "synthetic":
+        return WorkloadSpec.synthetic(
+            int(spec["footprint_bytes"]), int(spec["iterations"])  # type: ignore[arg-type]
+        )
+    raise ValueError(f"unknown workload kind {kind!r} in spec")
+
+
+def hierarchy_from_spec(spec: Mapping[str, object]) -> HierarchySpec:
+    """Rebuild a :class:`HierarchySpec` from its canonical spec dict."""
+    parameters = Leon3Parameters(
+        **{key: int(value) for key, value in dict(spec["parameters"]).items()}  # type: ignore[arg-type]
+    )
+    with_l2 = bool(spec["with_l2"])
+    if "setup" in spec:
+        return HierarchySpec(
+            setup=str(spec["setup"]), parameters=parameters, with_l2=with_l2
+        )
+    return HierarchySpec(
+        setup="",
+        l1_placement=str(spec["l1_placement"]),
+        l2_placement=str(spec["l2_placement"]),
+        l1_replacement=str(spec["l1_replacement"]),
+        l2_replacement=str(spec["l2_replacement"]),
+        parameters=parameters,
+        with_l2=with_l2,
+    )
+
+
+def scenario_from_spec(spec: Mapping[str, object]) -> Scenario:
+    """Rebuild a :class:`Scenario` from its canonical spec dict.
+
+    Only simulation-determining fields are part of the spec, so the rebuilt
+    scenario carries defaults for ``engine``/``jobs``/``mbpta``/``label`` —
+    by construction it has the **same spec hash** as the original.  The
+    spec's effective seed becomes the master seed (offset zero), which the
+    hash treats identically.
+    """
+    version = spec.get("version")
+    if version != SPEC_VERSION:
+        raise ValueError(
+            f"spec version {version!r} does not match this build's "
+            f"SPEC_VERSION {SPEC_VERSION}; refusing to rebuild the scenario"
+        )
+    return Scenario(
+        workload=workload_from_spec(spec["workload"]),  # type: ignore[arg-type]
+        hierarchy=hierarchy_from_spec(spec["hierarchy"]),  # type: ignore[arg-type]
+        runs=int(spec["runs"]),  # type: ignore[arg-type]
+        master_seed=int(spec["seed"]),  # type: ignore[arg-type]
+        seed_offset=0,
+        campaign=str(spec["campaign"]),
+    )
 
 
 # ---------------------------------------------------------------------------

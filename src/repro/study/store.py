@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -183,9 +184,113 @@ class ResultStore:
                 pairs.append((spec_hash, analysis_hash))
         return sorted(pairs)
 
+    # ------------------------------------------------------- shard entries
+
+    @property
+    def shard_root(self) -> Path:
+        """Directory of published shard entries (:mod:`repro.exec`), keyed
+        ``<spec_hash>.<shard_key>.json``.  A subdirectory, so campaign
+        entries and :meth:`keys` are unaffected."""
+        return self.root / "shards"
+
+    @property
+    def queue_root(self) -> Path:
+        """Directory of the store's shard work queue (:class:`repro.exec.FileQueue`)."""
+        return self.root / "queue"
+
+    def shard_path_for(self, spec_hash: str, key: str) -> Path:
+        return self.shard_root / f"{spec_hash}.{key}.json"
+
+    def save_shard(self, spec_hash: str, key: str, payload: Dict[str, object]) -> Path:
+        """Publish one executed shard atomically; returns the entry path.
+
+        Publication is idempotent — two workers racing on a reclaimed lease
+        both write the same deterministic payload, and :func:`os.replace`
+        makes the last write win without torn files.
+        """
+        self.shard_root.mkdir(parents=True, exist_ok=True)
+        path = self.shard_path_for(spec_hash, key)
+        temporary = path.with_suffix(".json.tmp")
+        temporary.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(temporary, path)
+        return path
+
+    def load_shard(self, spec_hash: str, key: str) -> Optional[Dict[str, object]]:
+        """The published shard payload for the key pair, or ``None``.
+
+        Unreadable, truncated or version-mismatched entries are misses,
+        never errors — the shard simply gets re-executed.
+        """
+        try:
+            payload = json.loads(self.shard_path_for(spec_hash, key).read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or payload.get("version") != SPEC_VERSION:
+            return None
+        return payload
+
+    def shard_keys(self, spec_hash: Optional[str] = None) -> List[Tuple[str, str]]:
+        """(spec_hash, shard_key) pairs currently published (sorted)."""
+        if not self.shard_root.is_dir():
+            return []
+        pairs = []
+        for path in self.shard_root.glob("*.json"):
+            entry_hash, _, key = path.stem.partition(".")
+            if key and (spec_hash is None or entry_hash == spec_hash):
+                pairs.append((entry_hash, key))
+        return sorted(pairs)
+
+    def clear_shards(self, spec_hash: Optional[str] = None) -> int:
+        """Delete published shard entries (all, or one spec hash's); returns
+        how many were removed."""
+        removed = 0
+        if not self.shard_root.is_dir():
+            return removed
+        pattern = f"{spec_hash}.*.json" if spec_hash else "*.json"
+        for path in self.shard_root.glob(pattern):
+            path.unlink()
+            removed += 1
+        for path in self.shard_root.glob("*.json.tmp"):
+            path.unlink()
+        return removed
+
+    # ------------------------------------------------------------------ GC
+
+    def sweep(self, older_than: float, analyses_only: bool = False) -> int:
+        """Garbage-collect derived entries older than ``older_than`` seconds.
+
+        Analyses are always eligible (they are pure caches, rebuilt from the
+        campaign entry on the next run).  Unless ``analyses_only``, published
+        shard entries and leftover queue files (tasks, leases, worker
+        heartbeats abandoned by a killed campaign) are swept too.  Campaign
+        entries themselves are never touched — they are the results.
+        Returns how many files were removed.
+        """
+        cutoff = time.time() - max(0.0, older_than)
+        roots = [self.analysis_root]
+        if not analyses_only:
+            roots.append(self.shard_root)
+            for name in ("tasks", "leases", "workers"):
+                roots.append(self.queue_root / name)
+        removed = 0
+        for root in roots:
+            if not root.is_dir():
+                continue
+            for path in root.iterdir():
+                if not path.is_file():
+                    continue
+                try:
+                    if path.stat().st_mtime <= cutoff:
+                        path.unlink()
+                        removed += 1
+                except OSError:
+                    continue  # concurrently removed — fine
+        return removed
+
     def clear(self) -> int:
-        """Delete every stored result and analysis; returns how many were
-        removed (campaign entries and analysis entries each count as one)."""
+        """Delete every stored result, analysis, shard entry and queue file;
+        returns how many entries were removed (each JSON entry counts as
+        one; queue bookkeeping files are removed but not counted)."""
         removed = 0
         if not self.root.is_dir():
             return removed
@@ -200,4 +305,12 @@ class ResultStore:
                 removed += 1
             for path in self.analysis_root.glob("*.json.tmp"):
                 path.unlink()
+        removed += self.clear_shards()
+        if self.queue_root.is_dir():
+            for name in ("tasks", "leases", "workers"):
+                subdir = self.queue_root / name
+                if subdir.is_dir():
+                    for path in subdir.iterdir():
+                        if path.is_file():
+                            path.unlink()
         return removed

@@ -6,6 +6,7 @@ stay stable across refactors.  Run from the repository root:
 
     PYTHONPATH=src python tests/golden/generate.py
 """
+from dataclasses import replace
 from pathlib import Path
 
 from repro.analysis.experiments import (
@@ -39,6 +40,19 @@ GOLDEN_CASES = {
     ),
     "ablation_repl": lambda: experiment_replacement_ablation(
         ExperimentSettings(runs=25, scale=0.25)
+    ),
+    # Per-estimator baselines: the same fig5 campaigns projected through the
+    # non-default registered estimators, so estimator refactors are pinned
+    # as tightly as the protocol default (gumbel-pwm, covered by fig5.txt).
+    "fig5_gumbel_mle": lambda: experiment_fig5(
+        replace(SMALL, estimator="gumbel-mle"),
+        footprint_bytes=20 * 1024,
+        iterations=3,
+    ),
+    "fig5_exponential_excess": lambda: experiment_fig5(
+        replace(SMALL, estimator="exponential-excess"),
+        footprint_bytes=20 * 1024,
+        iterations=3,
     ),
 }
 

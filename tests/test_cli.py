@@ -142,6 +142,95 @@ class TestPwcetCommand:
         assert "gumbel-pwm" not in output
 
 
+class TestShardedExecution:
+    def test_study_run_sharded_and_resume_hits_cache(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(
+            ["study", "run", "fig5", "--runs", "24", "--scale", "0.25",
+             "--store", store, "--shard-size", "6", "--jobs", "2"]
+        ) == 0
+        first = capsys.readouterr().out
+        assert "shards executed" in first
+        assert main(
+            ["study", "run", "fig5", "--runs", "24", "--scale", "0.25",
+             "--store", store, "--shard-size", "6", "--resume"]
+        ) == 0
+        assert "full cache hit" in capsys.readouterr().out
+
+    def test_resume_without_shard_size_is_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["study", "run", "fig5", "--runs", "24",
+                 "--store", str(tmp_path / "s"), "--resume"]
+            )
+
+    def test_invalid_shard_size_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["study", "run", "fig5", "--runs", "24",
+                 "--store", str(tmp_path / "s"), "--shard-size", "0"]
+            )
+
+    def test_worker_drains_queue_and_exec_status_reports(self, tmp_path, capsys):
+        from repro.exec import FileQueue, plan_shards, shard_task
+        from repro.study.scenario import HierarchySpec, Scenario, WorkloadSpec
+        from repro.study.store import ResultStore
+
+        scenario = Scenario(
+            workload=WorkloadSpec.synthetic(4 * 1024, 2),
+            hierarchy=HierarchySpec(setup="rm", with_l2=False),
+            runs=8,
+            master_seed=5,
+        )
+        store = ResultStore(tmp_path / "store")
+        queue = FileQueue(store.queue_root)
+        for shard in plan_shards(scenario.spec_hash(), scenario.runs, 4):
+            queue.enqueue(shard_task(scenario, shard, scenario.engine))
+        assert main(
+            ["worker", "--store", str(store.root), "--worker-id", "cli-test",
+             "--max-shards", "2"]
+        ) == 0
+        assert "2 shard(s) executed" in capsys.readouterr().out
+        assert len(store.shard_keys(scenario.spec_hash())) == 2
+        assert main(["exec", "status", "--store", str(store.root)]) == 0
+        status = capsys.readouterr().out
+        assert "cli-test" in status
+        assert "published" in status
+
+    def test_clean_analyses_only_preserves_campaigns(self, tmp_path, capsys):
+        from repro.study.store import ResultStore
+
+        store_dir = str(tmp_path / "store")
+        store = ResultStore(store_dir)
+        store.save_analysis("aaa", "cfg", {"v": 1})
+        assert main(["study", "clean", "--analyses-only", "--store", store_dir]) == 0
+        assert "1 analysis entries" in capsys.readouterr().out
+        assert store.load_analysis("aaa", "cfg") is None
+
+    def test_clean_older_than_sweeps_by_age(self, tmp_path, capsys):
+        import os
+        import time
+
+        from repro.study.store import ResultStore
+
+        store_dir = str(tmp_path / "store")
+        store = ResultStore(store_dir)
+        store.save_analysis("aaa", "cfg", {"v": 1})
+        store.save_shard("aaa", "00000000x000004", {"version": 1})
+        old = time.time() - 8 * 86400
+        path = store.analysis_path_for("aaa", "cfg")
+        os.utime(path, (old, old))
+        assert main(["study", "clean", "--older-than", "7d", "--store", store_dir]) == 0
+        assert "swept 1" in capsys.readouterr().out
+        assert store.load_analysis("aaa", "cfg") is None
+        assert store.load_shard("aaa", "00000000x000004") is not None
+
+    def test_clean_rejects_bad_age(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["study", "clean", "--older-than", "soon",
+                  "--store", str(tmp_path / "s")])
+
+
 class TestOutputFormats:
     def test_json_format_is_parseable_and_self_identifying(self, capsys):
         assert main(["run", "table1", "--format", "json"]) == 0

@@ -420,6 +420,28 @@ class TestDriverEquivalence:
         result = experiment_replacement_ablation(ExperimentSettings(runs=25, scale=0.25))
         assert result.format() + "\n" == _golden("ablation_repl")
 
+    @pytest.mark.parametrize(
+        "estimator, golden_id",
+        [
+            ("gumbel-mle", "fig5_gumbel_mle"),
+            ("exponential-excess", "fig5_exponential_excess"),
+        ],
+    )
+    def test_fig5_per_estimator_baselines(self, estimator, golden_id):
+        # The non-default estimators are pinned as tightly as gumbel-pwm:
+        # the same fig5 campaigns projected through each one must render
+        # byte-identically to its golden.
+        from dataclasses import replace
+
+        from repro.analysis.experiments import experiment_fig5
+
+        result = experiment_fig5(
+            replace(GOLDEN_SETTINGS, estimator=estimator),
+            footprint_bytes=20 * 1024,
+            iterations=3,
+        )
+        assert result.format() + "\n" == _golden(golden_id)
+
     def test_ablation_seg_accepts_same_kb_bucket_footprints(self):
         # Regression: 1024 and 1536 bytes both floor to "1KB"; the labels
         # must still be distinct for the study to execute.
