@@ -13,7 +13,9 @@ softly asserted at the >=3x acceptance bar).
 bootstrap confidence intervals enabled, where the resample refits dominate.
 """
 
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -23,6 +25,22 @@ from repro.pwcet import MbptaConfig, apply_mbpta, apply_mbpta_batch
 
 RUNS_PER_CAMPAIGN = 300
 CAMPAIGN_COUNTS = (8, 32, 128)
+
+#: Machine-readable benchmark trajectory, tracked across PRs (repo root).
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_mbpta.json"
+
+
+def _merge_bench_json(section: str, payload: dict) -> None:
+    """Update one section of BENCH_mbpta.json (two tests share the file)."""
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            data = {}
+    data[section] = payload
+    data["written_at"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def _matrix(n_campaigns, n_runs=RUNS_PER_CAMPAIGN, seed=20160605):
@@ -45,6 +63,7 @@ def test_vectorized_vs_loop_fit_throughput(capsys):
     """Fit-assessment throughput of the batch pipeline (prints the table)."""
     config = MbptaConfig()
     speedups = {}
+    rows = []
     with capsys.disabled():
         print("\npWCET pipeline: per-campaign apply_mbpta loop vs apply_mbpta_batch")
         print(f"({RUNS_PER_CAMPAIGN} runs per campaign, gumbel-pwm, default config)")
@@ -60,10 +79,18 @@ def test_vectorized_vs_loop_fit_throughput(capsys):
             batch_seconds = time.perf_counter() - start
             _assert_identical(batch_results, loop_results)
             speedups[n_campaigns] = loop_seconds / batch_seconds
+            rows.append({
+                "campaigns": n_campaigns,
+                "runs_per_campaign": RUNS_PER_CAMPAIGN,
+                "loop_seconds": loop_seconds,
+                "batch_seconds": batch_seconds,
+                "speedup": speedups[n_campaigns],
+            })
             print(
                 f"{n_campaigns:9d} | {loop_seconds:8.3f} | {batch_seconds:9.3f} | "
                 f"{speedups[n_campaigns]:.1f}x"
             )
+    _merge_bench_json("fit-pipeline", {"estimator": "gumbel-pwm", "rows": rows})
     for n_campaigns in (32, 128):
         assert speedups[n_campaigns] >= 3.0, (
             f"batch pipeline only {speedups[n_campaigns]:.1f}x faster at "
@@ -84,6 +111,16 @@ def test_bootstrap_batch_throughput(capsys):
     batch_seconds = time.perf_counter() - start
     for batch, loop in zip(batch_results, loop_results):
         assert batch.pwcet_ci == loop.pwcet_ci
+    _merge_bench_json(
+        "bootstrap",
+        {
+            "resamples": 50,
+            "campaigns": 16,
+            "loop_seconds": loop_seconds,
+            "batch_seconds": batch_seconds,
+            "speedup": loop_seconds / batch_seconds,
+        },
+    )
     with capsys.disabled():
         print(
             f"\nbootstrap (50 resamples, 16 campaigns): loop {loop_seconds:.2f}s, "

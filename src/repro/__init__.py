@@ -65,7 +65,13 @@ from .core import (
     make_placement,
 )
 from .cpu import Trace, TraceDrivenCore, assemble, run_program
-from .engine import available_engines, engine_capabilities, get_engine, register_engine
+from .engine import (
+    available_engines,
+    engine_capabilities,
+    get_engine,
+    register_engine,
+    registered_engines,
+)
 from .pwcet import (
     Estimator,
     MbptaConfig,
@@ -139,6 +145,7 @@ __all__ = [
     # engine
     "available_engines",
     "engine_capabilities",
+    "registered_engines",
     "get_engine",
     "register_engine",
     # pwcet

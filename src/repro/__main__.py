@@ -37,8 +37,11 @@ scenarios whose spec hash is already stored are loaded instead of
 re-simulated, so a repeated ``study run`` is a full cache hit.
 
 ``--engine`` accepts any registered simulation engine
-(:func:`repro.engine.available_engines`); all built-in engines are
-bit-exact, so the flag only changes wall-clock time.  ``--estimator``
+(:func:`repro.engine.registered_engines`; ``python -m repro engines``
+prints the capability matrix).  All built-in engines are bit-exact, so the
+flag only changes wall-clock time; asking for an engine whose optional
+dependency is missing (the numba-backed ``jit`` tier) fails up front with
+the install hint.  ``--estimator``
 accepts any registered pWCET estimator
 (:func:`repro.pwcet.available_estimators`); the default ``gumbel-pwm``
 reproduces the paper's protocol, and ``python -m repro pwcet compare``
@@ -69,7 +72,7 @@ from typing import Dict, Optional
 
 from .analysis.experiments import ExperimentSettings
 from .analysis.report import CSV_HEADER, RESULT_FORMATS, render_result
-from .engine import available_engines, get_engine
+from .engine import engine_capabilities, get_engine, registered_engines
 from .pwcet import (
     MBPTA_MIN_RUNS,
     MbptaConfig,
@@ -108,10 +111,11 @@ def _add_campaign_arguments(
     )
     parser.add_argument(
         "--engine",
-        choices=available_engines(),
+        choices=registered_engines(),
         default=None,
         help="simulation engine (all built-in engines are bit-exact; "
-        "'numpy' vectorizes whole seed batches)",
+        "'numpy' vectorizes whole seed batches, 'jit' needs the numba "
+        "extra; see 'python -m repro engines')",
     )
     parser.add_argument(
         "--estimator",
@@ -147,6 +151,12 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list available experiments")
+
+    subparsers.add_parser(
+        "engines",
+        help="print the simulation-engine capability matrix "
+        "(including optional-dependency availability)",
+    )
 
     run = subparsers.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
@@ -424,6 +434,29 @@ def _pwcet_command(parser: argparse.ArgumentParser, args: argparse.Namespace) ->
     return 0
 
 
+def _print_engine_matrix() -> None:
+    """The ``engines`` command: one row per registered engine."""
+    matrix = engine_capabilities()
+    flag = lambda value: "yes" if value else "no"  # noqa: E731
+    width = max(len(name) for name in matrix)
+    print(f"{'engine'.ljust(width)}  batch  bit-exact  parallel  available")
+    for name, caps in matrix.items():
+        availability = "yes"
+        if not caps["available"]:
+            availability = f"no ({caps['availability']})"
+        print(
+            f"{name.ljust(width)}  "
+            f"{flag(caps['supports_batch']).ljust(5)}  "
+            f"{flag(caps['bit_exact']).ljust(9)}  "
+            f"{flag(caps['requires_pickle']).ljust(8)}  "
+            f"{availability}"
+        )
+    from .engine.jit import numba_missing_reason
+
+    importable = "importable" if numba_missing_reason() is None else "not importable"
+    print(f"numba (optional, backs the 'jit' engine): {importable}")
+
+
 def _validated_settings(
     parser: argparse.ArgumentParser, args: argparse.Namespace, targets
 ) -> Optional[ExperimentSettings]:
@@ -438,7 +471,10 @@ def _validated_settings(
     if settings.resume and settings.shard_size is None:
         parser.error("--resume only applies to sharded runs; pass --shard-size too")
     try:
-        get_engine(settings.engine)  # catches bad REPRO_ENGINE values too
+        engine = get_engine(settings.engine)  # catches bad REPRO_ENGINE values too
+        availability = engine.availability()
+        if availability is not None:
+            parser.error(availability)
         if settings.estimator:
             # Resolve through the config so the legacy "pwm"/"mle" aliases
             # stay usable from REPRO_ESTIMATOR; catches bad values too.
@@ -460,6 +496,10 @@ def main(argv: list[str] | None = None) -> int:
         width = max(len(name) for name in EXPERIMENTS)
         for name, (description, _) in EXPERIMENTS.items():
             print(f"{name.ljust(width)}  {description}")
+        return 0
+
+    if args.command == "engines":
+        _print_engine_matrix()
         return 0
 
     if args.command == "run":

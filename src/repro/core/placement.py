@@ -28,7 +28,7 @@ from typing import Dict, List, Sequence
 
 from .benes import PermutationNetwork, make_permutation_network
 from .bits import bit_slice, ceil_log2, fold_xor, is_power_of_two, mask, rotate_left
-from .prng import SplitMix64
+from .prng import SplitMix64, splitmix64_next_array
 
 __all__ = [
     "PlacementGeometry",
@@ -177,6 +177,24 @@ class PlacementPolicy(ABC):
 
         index = self.set_index
         return np.array([index(int(address)) for address in addresses], dtype=np.int64)
+
+    def set_index_matrix(self, addresses, seeds):
+        """Per-seed placement maps as one ``(len(addresses), len(seeds))`` array.
+
+        Column ``i`` is bit-identical to ``reseed(seeds[i])`` followed by
+        :meth:`set_index_array`.  The base implementation does exactly that
+        loop (leaving the policy reseeded to the last seed); the randomized
+        policies override it with cross-seed array arithmetic, which is where
+        the batch engines get their per-lane maps without a Python loop over
+        seeds.
+        """
+        import numpy as np
+
+        matrix = np.empty((len(addresses), len(seeds)), dtype=np.int64)
+        for column, seed in enumerate(seeds):
+            self.reseed(int(seed))
+            matrix[:, column] = self.set_index_array(addresses)
+        return matrix
 
     def tag_array(self, addresses):
         """Vector counterpart of :meth:`tag` (uint64 in, int64 out)."""
@@ -345,6 +363,54 @@ class HashRandomPlacement(PlacementPolicy):
             index ^= (_popcount64_array(lines & row) & 1) << bit
         return index.astype(np.int64)
 
+    def set_index_matrix(self, addresses, seeds):
+        import numpy as np
+
+        if self._hash_width > 64:
+            return super().set_index_matrix(addresses, seeds)
+        geometry = self.geometry
+        hash_mask = mask(self._hash_width)
+        states = np.array([seed & mask(64) for seed in seeds], dtype=np.uint64)
+        # Draw every seed's hash matrix together.  The scalar reseed consumes
+        # two SplitMix64 outputs per row (the row is assembled from a
+        # 128-bit draw) and re-draws zero rows, so the vector path advances
+        # the per-seed streams identically: two draws per row, then extra
+        # pairs only for the seeds whose row came out zero.
+        rows = np.empty((geometry.index_bits, len(seeds)), dtype=np.uint64)
+        for bit in range(geometry.index_bits):
+            low = splitmix64_next_array(states)
+            splitmix64_next_array(states)  # high half, masked away (width <= 64)
+            row = low & hash_mask
+            zero = np.nonzero(row == 0)[0]
+            while zero.size:
+                sub_states = states[zero]
+                low = splitmix64_next_array(sub_states)
+                splitmix64_next_array(sub_states)
+                states[zero] = sub_states
+                row[zero] = low & hash_mask
+                zero = zero[row[zero] == 0]
+            rows[bit] = row
+        offsets = splitmix64_next_array(states) & np.uint64(mask(geometry.index_bits))
+        lines = self._line_addresses_array(addresses)
+        # The row-parity accumulation is pure memory traffic: run it on the
+        # narrowest widths that hold the data (32-bit rows when the hash and
+        # every line fit, 16-bit index accumulator up to 16 index bits).
+        if self._hash_width <= 32 and (not lines.size or int(lines.max()) < 1 << 32):
+            lines = lines.astype(np.uint32)
+            rows = rows.astype(np.uint32)
+        acc_dtype = np.uint16 if geometry.index_bits <= 16 else np.uint64
+        index = np.empty((len(lines), len(seeds)), dtype=acc_dtype)
+        index[:] = offsets.astype(acc_dtype)[None, :]
+        bitwise_count = getattr(np, "bitwise_count", None)
+        for bit in range(geometry.index_bits):
+            masked = lines[:, None] & rows[bit][None, :]
+            if bitwise_count is not None:
+                parity = (bitwise_count(masked) & np.uint8(1)).astype(acc_dtype)
+            else:
+                parity = (_popcount64_array(masked) & 1).astype(acc_dtype)
+            index ^= parity << bit
+        return index.astype(np.int64)
+
 
 class RandomModuloPlacement(PlacementPolicy):
     """Random Modulo (RM) placement, Figure 3 of the paper.
@@ -434,6 +500,55 @@ class RandomModuloPlacement(PlacementPolicy):
         value = (lines & mask(geometry.index_bits)).astype(np.uint64)
         for position, (wire_a, wire_b) in enumerate(self.network.switches):
             swap = (controls >> position) & 1
+            moved = (((value >> wire_a) ^ (value >> wire_b)) & 1) & swap
+            value ^= (moved << wire_a) | (moved << wire_b)
+        return value.astype(np.int64)
+
+    def set_index_matrix(self, addresses, seeds):
+        import numpy as np
+
+        geometry = self.geometry
+        n_controls = self.network.num_switches
+        if not 0 < n_controls < 64 or geometry.upper_bits > 64:
+            return super().set_index_matrix(addresses, seeds)
+        control_mask = np.uint64(mask(n_controls))
+        states = np.array([seed & mask(64) for seed in seeds], dtype=np.uint64)
+        # The scalar reseed assembles a 128-bit draw from two SplitMix64
+        # outputs; with n_controls < 64 the control slice lives in the low
+        # word and the upper-pad slice straddles the word boundary.
+        low = splitmix64_next_array(states)
+        high = splitmix64_next_array(states)
+        seed_controls = low & control_mask
+        seed_uppers = ((low >> np.uint64(n_controls)) | (high << np.uint64(64 - n_controls))) & control_mask
+        lines = self._line_addresses_array(addresses)
+        uppers = lines >> geometry.index_bits
+        # Control words depend on the line only through its upper bits, and a
+        # trace spans few distinct segments: compute the (upper, seed) control
+        # matrix over the unique uppers, pre-slice the per-switch swap bits,
+        # and run the switch column on the narrowest dtype holding the index.
+        unique_uppers, inverse = np.unique(uppers, return_inverse=True)
+        base_controls = _fold_xor_array(unique_uppers, geometry.upper_bits, n_controls)
+        controls = np.broadcast_to(
+            base_controls[:, None], (len(unique_uppers), len(seeds))
+        )
+        spread = geometry.upper_bits
+        if spread < n_controls:
+            controls = controls | (((seed_uppers << spread) & control_mask)[None, :])
+        controls = (controls ^ seed_controls[None, :]) & control_mask
+        if geometry.index_bits <= 8:
+            dtype = np.uint8
+        elif geometry.index_bits <= 16:
+            dtype = np.uint16
+        else:
+            dtype = np.uint64
+        swaps = [
+            ((controls >> np.uint64(position)) & np.uint64(1)).astype(dtype)
+            for position in range(n_controls)
+        ]
+        value = np.empty((len(lines), len(seeds)), dtype=dtype)
+        value[:] = (lines & mask(geometry.index_bits)).astype(dtype)[:, None]
+        for position, (wire_a, wire_b) in enumerate(self.network.switches):
+            swap = swaps[position][inverse]
             moved = (((value >> wire_a) ^ (value >> wire_b)) & 1) & swap
             value ^= (moved << wire_a) | (moved << wire_b)
         return value.astype(np.int64)

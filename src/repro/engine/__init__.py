@@ -15,9 +15,16 @@ Built-in backends:
 * ``reference`` — object-oriented hierarchy model, slow but inspectable
   (ground truth for cross-validation);
 * ``numpy``     — vectorized batch engine simulating all seeds of a campaign
-  chunk simultaneously (numpy is a declared dependency of the package).
+  chunk simultaneously (numpy is a declared dependency of the package); by
+  default it executes a compiled :class:`~repro.engine.plan.TracePlan` and
+  falls back to the per-access interpreter for unsupported configurations;
+* ``jit``       — the same compiled plan run by a numba-compiled per-lane
+  kernel.  numba is optional (the ``jit`` extra): the engine is always
+  *registered* but only *available* when numba imports —
+  :func:`registered_engines` lists it either way,
+  :func:`available_engines` only when usable.
 
-All three are bit-exact with each other.  See DESIGN.md ("Engines") for the
+All are bit-exact with each other.  See DESIGN.md ("Engines") for the
 capability matrix and how to add a backend.
 """
 
@@ -30,9 +37,11 @@ from .base import (
     engine_capabilities,
     get_engine,
     register_engine,
+    registered_engines,
     unregister_engine,
 )
 from .fast import FastEngine
+from .jit import JitEngine, JitUnavailable
 from .numpy_engine import NumpyEngine
 from .reference import ReferenceEngine
 
@@ -40,15 +49,19 @@ __all__ = [
     "Engine",
     "EngineSimulator",
     "FastEngine",
+    "JitEngine",
+    "JitUnavailable",
     "NumpyEngine",
     "ReferenceEngine",
     "available_engines",
     "engine_capabilities",
     "get_engine",
     "register_engine",
+    "registered_engines",
     "unregister_engine",
 ]
 
 register_engine(FastEngine())
 register_engine(ReferenceEngine())
 register_engine(NumpyEngine())
+register_engine(JitEngine())

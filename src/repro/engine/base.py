@@ -27,6 +27,16 @@ Capability flags describe what callers may rely on:
     shipped between processes.  All built-in engines rebuild cheaply, so the
     parallel executor supports them all.
 
+Engines with optional dependencies (the ``jit`` tier needs numba) are always
+*registered* — they appear in :func:`registered_engines`, the CLI accepts
+them and :func:`get_engine` resolves them, so asking for one without its
+dependency produces the engine's own clear error naming the missing extra
+instead of an "unknown engine" message.  :func:`available_engines` filters
+the registry down to the engines that can actually run here
+(:meth:`Engine.availability` returns ``None``); callers that iterate "every
+engine" — the equivalence suites, the campaign layers — use the available
+set and keep working on machines without the optional extras.
+
 To add a backend: subclass :class:`Engine`, implement :meth:`Engine.simulator`
 returning an object with ``run(seed)`` / ``run_batch(seeds)`` producing
 :class:`~repro.cache.fastsim.FastRunResult`, and call
@@ -36,7 +46,7 @@ returning an object with ``run(seed)`` / ``run_batch(seeds)`` producing
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Dict, List, Protocol, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cache.fastsim import CompiledTrace, FastRunResult
@@ -48,6 +58,7 @@ __all__ = [
     "register_engine",
     "unregister_engine",
     "get_engine",
+    "registered_engines",
     "available_engines",
     "engine_capabilities",
 ]
@@ -84,6 +95,20 @@ class Engine(ABC):
     ) -> EngineSimulator:
         """Build a simulator for one (hierarchy, compiled trace) pair."""
 
+    def availability(self) -> Optional[str]:
+        """``None`` when the engine can run here, else why it cannot.
+
+        Engines with optional dependencies override this to report the
+        missing extra (the ``jit`` tier returns an install hint when numba
+        is not importable); built-in engines are always available.
+        """
+        return None
+
+    @property
+    def available(self) -> bool:
+        """Whether :meth:`simulator` can be used on this machine."""
+        return self.availability() is None
+
     def describe(self) -> Dict[str, object]:
         """Structured capability summary (used by docs, reports and tests)."""
         return {
@@ -91,6 +116,8 @@ class Engine(ABC):
             "supports_batch": self.supports_batch,
             "bit_exact": self.bit_exact,
             "requires_pickle": self.requires_pickle,
+            "available": self.available,
+            "availability": self.availability(),
         }
 
 
@@ -119,20 +146,34 @@ def unregister_engine(name: str) -> None:
     _REGISTRY.pop(name, None)
 
 
-def available_engines() -> Tuple[str, ...]:
-    """Names of all registered engines, sorted."""
+def registered_engines() -> Tuple[str, ...]:
+    """Names of all registered engines, sorted (usable here or not)."""
     return tuple(sorted(_REGISTRY))
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Names of the registered engines that can run here, sorted.
+
+    Excludes engines whose optional dependency is missing (see
+    :meth:`Engine.availability`); callers that iterate "every engine"
+    use this so optional tiers degrade by absence, not by crashing.
+    """
+    return tuple(
+        name for name in registered_engines() if _REGISTRY[name].available
+    )
 
 
 def get_engine(name: str) -> Engine:
     """Resolve an engine by registry name.
 
     Unknown names raise :class:`ValueError` listing the registered names.
+    Registered-but-unavailable engines resolve normally; their
+    :meth:`Engine.simulator` raises the clear dependency error.
     """
     try:
         return _REGISTRY[name]
     except KeyError:
-        registered = ", ".join(available_engines()) or "<none>"
+        registered = ", ".join(registered_engines()) or "<none>"
         raise ValueError(
             f"unknown engine {name!r}; registered engines: {registered}"
         ) from None
@@ -140,4 +181,4 @@ def get_engine(name: str) -> Engine:
 
 def engine_capabilities() -> Dict[str, Dict[str, object]]:
     """Capability matrix of every registered engine (name -> describe())."""
-    return {name: _REGISTRY[name].describe() for name in available_engines()}
+    return {name: _REGISTRY[name].describe() for name in registered_engines()}

@@ -1,0 +1,505 @@
+"""JIT engine tier: the compiled plan executed by a numba-compiled kernel.
+
+The numpy plan path (:mod:`repro.engine.numpy_engine`) vectorizes across
+seeds, so its per-step cost is a handful of small array operations — fast,
+but still bounded by numpy dispatch overhead at ~3k steps per trace.  This
+tier runs the *same* :class:`~repro.engine.plan.TracePlan` through a scalar
+per-lane kernel written in nopython-compatible Python: one tight loop over
+the plan steps per seed, compiled by numba when it is installed.
+
+numba is an **optional** dependency (the ``jit`` extra).  The engine is
+always registered so ``--engine jit`` resolves everywhere; asking for a
+simulator without numba raises :class:`JitUnavailable` with the install
+hint, and :func:`repro.engine.available_engines` simply omits the tier.
+
+The kernel itself (:func:`_simulate_lane`) is plain Python over numpy
+scalars and arrays — exactly the subset numba compiles — so the equivalence
+suite certifies its logic bit-exactly against the other engines *without*
+numba by running it interpreted (``JitEngine(force_python=True)``).  With
+numba installed the identical code object is compiled on first use
+(:func:`_ensure_compiled` rebinds the module globals), so the certified
+semantics and the compiled semantics are one implementation.
+
+Bit-exactness notes (same invariants as the numpy plan path):
+
+* victim draws replicate ``SplitMix64.next_below`` exactly, including the
+  rejection-sampling loop for non-power-of-two associativities;
+* elision never removes a draw, so the per-cache victim streams are
+  consumed in the fast engine's order;
+* all uint64 arithmetic wraps modulo 2**64 (numba's native behaviour; the
+  interpreted path runs under ``np.errstate(over="ignore")``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..cache.cache import WRITE_BACK
+from ..cache.fastsim import CompiledTrace, FastRunResult
+from ..cache.hierarchy import HierarchyConfig
+from .base import Engine
+from .numpy_engine import _VectorSimulator
+
+__all__ = ["JitEngine", "JitUnavailable", "numba_missing_reason"]
+
+#: SplitMix64 constants (mirrors :mod:`repro.core.prng`).
+_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+_INSTALL_HINT = (
+    "engine 'jit' needs numba, which is not installed; install the 'jit' "
+    "extra (pip install 'repro-random-modulo[jit]') or pick another engine"
+)
+
+
+class JitUnavailable(RuntimeError):
+    """Raised when the jit engine is used without numba installed."""
+
+
+def numba_missing_reason() -> Optional[str]:
+    """``None`` when numba is importable, else the install hint."""
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return _INSTALL_HINT
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The kernel (nopython-compatible: compiled by numba when installed)
+# ---------------------------------------------------------------------------
+
+
+def _splitmix64_next(state):
+    """One SplitMix64 draw: returns ``(value, new_state)`` (uint64 wrap)."""
+    state = state + _GAMMA
+    z = (state ^ (state >> np.uint64(30))) * _MIX1
+    z = (z ^ (z >> np.uint64(27))) * _MIX2
+    return z ^ (z >> np.uint64(31)), state
+
+
+def _next_below(state, bound):
+    """Scalar ``SplitMix64.next_below(bound)``: ``(victim, new_state)``.
+
+    Mirrors :meth:`repro.core.prng.SplitMix64.next_below` exactly,
+    rejection loop included, so the victim stream is bit-identical.
+    """
+    ub = np.uint64(bound)
+    # (2**64 - bound) % bound == 2**64 % bound without the un-representable
+    # 2**64 literal; limit == 2**64 - 2**64 % bound via the uint64 wrap.
+    rem = (np.uint64(0) - ub) % ub
+    limit = np.uint64(0) - rem
+    while True:
+        value, state = _splitmix64_next(state)
+        if bound & (bound - 1) == 0 or value < limit:
+            return np.int64(value % ub), state
+
+
+def _simulate_lane(
+    # Plan step columns.
+    step_slot, step_uid, step_store, step_sure_hit, step_dirty_after,
+    # (2, U) per-L1-slot set indices and per-slot config (index 0 = IL1).
+    l1_sets, l1_ways, l1_nsets, l1_lru, l1_wb, l1_rng,
+    # L2 map and config (l2_nsets == 0 means "no L2").
+    l2_sets, l2_ways, l2_nsets, l2_lru, l2_rng,
+    # Timings.
+    l2_hit_latency, memory_latency, writeback_latency,
+):
+    """Replay the plan for one seed; returns the six variable counters.
+
+    Output: ``(extra_cycles, memory_accesses, il1_misses, dl1_misses,
+    l2_accesses, l2_misses)`` — everything else in a
+    :class:`~repro.cache.fastsim.FastRunResult` is a trace constant.
+    """
+    n_lines = l1_sets.shape[1]
+    max_l1_cells = max(l1_nsets[0] * l1_ways[0], l1_nsets[1] * l1_ways[1])
+    l1_way_of = np.full((2, n_lines), -1, dtype=np.int64)
+    l1_occ = np.zeros((2, max(l1_nsets[0], l1_nsets[1])), dtype=np.int64)
+    l1_dirty = np.zeros((2, max_l1_cells), dtype=np.uint8)
+    l1_victims = np.zeros((2, max_l1_cells), dtype=np.int64)
+    l1_stamp = np.zeros((2, max_l1_cells), dtype=np.int64)
+    l1_clock = np.zeros(2, dtype=np.int64)
+    l1_misses = np.zeros(2, dtype=np.int64)
+
+    has_l2 = l2_nsets > 0
+    l2_cells = l2_nsets * l2_ways if has_l2 else 1
+    l2_way_of = np.full(n_lines, -1, dtype=np.int64)
+    l2_occ = np.zeros(max(l2_nsets, 1), dtype=np.int64)
+    l2_dirty = np.zeros(l2_cells, dtype=np.uint8)
+    l2_victims = np.zeros(l2_cells, dtype=np.int64)
+    l2_stamp = np.zeros(l2_cells, dtype=np.int64)
+    l2_clock = np.int64(0)
+    l2_accesses = np.int64(0)
+    l2_misses = np.int64(0)
+
+    extra_cycles = np.int64(0)
+    memory_accesses = np.int64(0)
+
+    for i in range(step_slot.shape[0]):
+        slot = step_slot[i]
+        uid = step_uid[i]
+        is_store = step_store[i] != 0
+        sure_hit = step_sure_hit[i] != 0
+        dirty_after = step_dirty_after[i] != 0
+        ways = l1_ways[slot]
+        wb = l1_wb[slot] != 0
+        lru = l1_lru[slot] != 0
+
+        way = l1_way_of[slot, uid]
+        if sure_hit or way >= 0:
+            # L1 hit: LRU touch, store dirty / write-through traffic.
+            if lru or (is_store and wb) or dirty_after:
+                cell = l1_sets[slot, uid] * ways + way
+                if lru:
+                    l1_clock[slot] += 1
+                    l1_stamp[slot, cell] = l1_clock[slot]
+                if (is_store and wb) or dirty_after:
+                    l1_dirty[slot, cell] = 1
+            if is_store and not wb:
+                if has_l2:
+                    # -------- L2 write (latency-free, dropped dirty victims).
+                    l2_accesses += 1
+                    l2_way = l2_way_of[uid]
+                    if l2_way >= 0:
+                        l2_cell = l2_sets[uid] * l2_ways + l2_way
+                        if l2_lru != 0:
+                            l2_clock += 1
+                            l2_stamp[l2_cell] = l2_clock
+                        l2_dirty[l2_cell] = 1
+                    else:
+                        l2_misses += 1
+                        l2_set = l2_sets[uid]
+                        occ = l2_occ[l2_set]
+                        if occ >= l2_ways:
+                            if l2_lru != 0:
+                                victim = np.int64(0)
+                                best = l2_stamp[l2_set * l2_ways]
+                                for w in range(1, l2_ways):
+                                    if l2_stamp[l2_set * l2_ways + w] < best:
+                                        best = l2_stamp[l2_set * l2_ways + w]
+                                        victim = np.int64(w)
+                            else:
+                                victim, l2_rng = _next_below(l2_rng, l2_ways)
+                            l2_cell = l2_set * l2_ways + victim
+                            l2_way_of[l2_victims[l2_cell]] = np.int64(-1)
+                        else:
+                            l2_occ[l2_set] = occ + 1
+                            l2_cell = l2_set * l2_ways + occ
+                        l2_victims[l2_cell] = uid
+                        l2_dirty[l2_cell] = 1
+                        l2_way_of[uid] = l2_cell - l2_set * l2_ways
+                        if l2_lru != 0:
+                            l2_clock += 1
+                            l2_stamp[l2_cell] = l2_clock
+                else:
+                    memory_accesses += 1
+            continue
+
+        # ----- L1 miss.
+        l1_misses[slot] += 1
+        set_index = l1_sets[slot, uid]
+        if not (is_store and not wb):
+            # Allocate (write-through store misses do not).
+            occ = l1_occ[slot, set_index]
+            if occ >= ways:
+                if lru:
+                    victim = np.int64(0)
+                    best = l1_stamp[slot, set_index * ways]
+                    for w in range(1, ways):
+                        if l1_stamp[slot, set_index * ways + w] < best:
+                            best = l1_stamp[slot, set_index * ways + w]
+                            victim = np.int64(w)
+                else:
+                    victim, l1_state = _next_below(l1_rng[slot], ways)
+                    l1_rng[slot] = l1_state
+                cell = set_index * ways + victim
+                evicted = l1_victims[slot, cell]
+                l1_way_of[slot, evicted] = -1
+                if wb and l1_dirty[slot, cell] != 0:
+                    # Dirty L1 victim goes to the next level first.
+                    if has_l2:
+                        extra_cycles += writeback_latency
+                        l2_accesses += 1
+                        l2_way = l2_way_of[evicted]
+                        if l2_way >= 0:
+                            l2_cell = l2_sets[evicted] * l2_ways + l2_way
+                            if l2_lru != 0:
+                                l2_clock += 1
+                                l2_stamp[l2_cell] = l2_clock
+                            l2_dirty[l2_cell] = 1
+                        else:
+                            l2_misses += 1
+                            l2_set = l2_sets[evicted]
+                            l2_occ_count = l2_occ[l2_set]
+                            if l2_occ_count >= l2_ways:
+                                if l2_lru != 0:
+                                    l2_victim = np.int64(0)
+                                    best = l2_stamp[l2_set * l2_ways]
+                                    for w in range(1, l2_ways):
+                                        if l2_stamp[l2_set * l2_ways + w] < best:
+                                            best = l2_stamp[l2_set * l2_ways + w]
+                                            l2_victim = np.int64(w)
+                                else:
+                                    l2_victim, l2_rng = _next_below(
+                                        l2_rng, l2_ways
+                                    )
+                                l2_cell = l2_set * l2_ways + l2_victim
+                                l2_way_of[l2_victims[l2_cell]] = -1
+                            else:
+                                l2_occ[l2_set] = l2_occ_count + 1
+                                l2_cell = l2_set * l2_ways + l2_occ_count
+                            l2_victims[l2_cell] = evicted
+                            l2_dirty[l2_cell] = 1
+                            l2_way_of[evicted] = l2_cell - l2_set * l2_ways
+                            if l2_lru != 0:
+                                l2_clock += 1
+                                l2_stamp[l2_cell] = l2_clock
+                    else:
+                        extra_cycles += memory_latency
+                        memory_accesses += 1
+            else:
+                l1_occ[slot, set_index] = occ + 1
+                cell = set_index * ways + occ
+            l1_victims[slot, cell] = uid
+            l1_dirty[slot, cell] = 1 if (is_store and wb) else 0
+            l1_way_of[slot, uid] = cell - set_index * ways
+            if lru:
+                l1_clock[slot] += 1
+                l1_stamp[slot, cell] = l1_clock[slot]
+        if dirty_after:
+            # Elided write-back store hits of this step's run.
+            l1_dirty[
+                slot, l1_sets[slot, uid] * ways + l1_way_of[slot, uid]
+            ] = 1
+
+        # ----- The demand request goes to the next level.
+        if not has_l2:
+            extra_cycles += memory_latency
+            memory_accesses += 1
+            continue
+        is_write = is_store and not wb
+        extra_cycles += l2_hit_latency
+        l2_accesses += 1
+        l2_way = l2_way_of[uid]
+        if l2_way >= 0:
+            if l2_lru != 0 or is_write:
+                l2_cell = l2_sets[uid] * l2_ways + l2_way
+                if l2_lru != 0:
+                    l2_clock += 1
+                    l2_stamp[l2_cell] = l2_clock
+                if is_write:
+                    l2_dirty[l2_cell] = 1
+        else:
+            l2_misses += 1
+            l2_set = l2_sets[uid]
+            occ = l2_occ[l2_set]
+            if occ >= l2_ways:
+                if l2_lru != 0:
+                    victim = np.int64(0)
+                    best = l2_stamp[l2_set * l2_ways]
+                    for w in range(1, l2_ways):
+                        if l2_stamp[l2_set * l2_ways + w] < best:
+                            best = l2_stamp[l2_set * l2_ways + w]
+                            victim = np.int64(w)
+                else:
+                    victim, l2_rng = _next_below(l2_rng, l2_ways)
+                l2_cell = l2_set * l2_ways + victim
+                evicted = l2_victims[l2_cell]
+                l2_way_of[evicted] = -1
+                if l2_dirty[l2_cell] != 0:
+                    extra_cycles += writeback_latency
+                    memory_accesses += 1
+            else:
+                l2_occ[l2_set] = occ + 1
+                l2_cell = l2_set * l2_ways + occ
+            l2_victims[l2_cell] = uid
+            l2_dirty[l2_cell] = 1 if is_write else 0
+            l2_way_of[uid] = l2_cell - l2_set * l2_ways
+            if l2_lru != 0:
+                l2_clock += 1
+                l2_stamp[l2_cell] = l2_clock
+            extra_cycles += memory_latency
+            memory_accesses += 1
+
+    return (
+        extra_cycles,
+        memory_accesses,
+        l1_misses[0],
+        l1_misses[1],
+        l2_accesses,
+        l2_misses,
+    )
+
+
+_COMPILED = False
+
+
+def _ensure_compiled() -> None:
+    """Compile the kernel on first use, rebinding the module globals.
+
+    ``_simulate_lane`` resolves ``_next_below`` / ``_splitmix64_next``
+    through the module namespace at (lazy) compile time, so swapping all
+    three for their njit forms before the first call compiles the whole
+    chain; subsequent simulators reuse the compiled dispatcher.
+    """
+    global _COMPILED, _splitmix64_next, _next_below, _simulate_lane
+    if _COMPILED:
+        return
+    import numba
+
+    _splitmix64_next = numba.njit(cache=True)(_splitmix64_next)
+    _next_below = numba.njit(cache=True)(_next_below)
+    _simulate_lane = numba.njit(cache=True)(_simulate_lane)
+    _COMPILED = True
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+class _MapHolder:
+    """Per-chunk cache-slot maps (``_build_hierarchy``'s state class)."""
+
+    def __init__(self, config, n_lanes, line_sets, line_tags, replacement_states):
+        self.config = config
+        self.line_sets = line_sets
+        self.replacement_states = replacement_states
+
+    def column(self, lane: int) -> np.ndarray:
+        """Set-index column of one lane as a contiguous int64 array."""
+        if self.line_sets.ndim == 2:
+            return np.ascontiguousarray(self.line_sets[:, lane])
+        return self.line_sets
+
+
+class _JitSimulator(_VectorSimulator):
+    """Plan setup shared with the numpy engine; execution per lane, compiled.
+
+    Reuses the vector simulator's seed derivation, placement-map batching
+    and plan compilation (``use_plan=True`` raises
+    :class:`~repro.engine.plan.PlanUnsupported` for configs outside the
+    model, like the numpy plan path), then replays each lane through
+    :func:`_simulate_lane`.
+    """
+
+    def __init__(self, config, compiled, compile_kernel=True):
+        super().__init__(config, compiled, use_plan=True)
+        self._compile_kernel = compile_kernel
+        if compile_kernel:
+            _ensure_compiled()
+
+    def _run_lanes_plan(self, seeds: Sequence[int]) -> List[FastRunResult]:
+        if not seeds:
+            return []
+        plan = self._plan
+        n = len(seeds)
+        il1, dl1, l2 = self._build_hierarchy(seeds, _MapHolder)
+        timings = self.config.timings
+        n_lines = len(self._lines)
+
+        def slot_params(holder):
+            return (
+                holder.config.ways,
+                holder.config.num_sets,
+                1 if holder.config.replacement == "lru" else 0,
+                1 if holder.config.write_policy == WRITE_BACK else 0,
+            )
+
+        il1_p, dl1_p = slot_params(il1), slot_params(dl1)
+        l1_ways = np.array([il1_p[0], dl1_p[0]], dtype=np.int64)
+        l1_nsets = np.array([il1_p[1], dl1_p[1]], dtype=np.int64)
+        l1_lru = np.array([il1_p[2], dl1_p[2]], dtype=np.int64)
+        l1_wb = np.array([il1_p[3], dl1_p[3]], dtype=np.int64)
+        if l2 is not None:
+            l2_ways, l2_nsets, l2_lru, _ = slot_params(l2)
+        else:
+            l2_ways, l2_nsets, l2_lru = 1, 0, 0
+        empty_l2_sets = np.zeros(n_lines, dtype=np.int64)
+
+        kernel_args = []
+        for lane in range(n):
+            l1_sets = np.empty((2, n_lines), dtype=np.int64)
+            l1_sets[0] = il1.column(lane)
+            l1_sets[1] = dl1.column(lane)
+            l1_rng = np.array(
+                [il1.replacement_states[lane], dl1.replacement_states[lane]],
+                dtype=np.uint64,
+            )
+            l2_sets = l2.column(lane) if l2 is not None else empty_l2_sets
+            l2_rng = (
+                l2.replacement_states[lane] if l2 is not None else np.uint64(0)
+            )
+            kernel_args.append((
+                plan.step_slot, plan.step_uid, plan.step_store,
+                plan.step_sure_hit, plan.step_dirty_after,
+                l1_sets, l1_ways, l1_nsets, l1_lru, l1_wb, l1_rng,
+                l2_sets, np.int64(l2_ways), np.int64(l2_nsets),
+                np.int64(l2_lru), np.uint64(l2_rng),
+                np.int64(timings.l2_hit), np.int64(timings.memory),
+                np.int64(timings.writeback),
+            ))
+
+        kernel = _simulate_lane
+        if self._compile_kernel:
+            outputs = [kernel(*args) for args in kernel_args]
+        else:
+            # Interpreted certification path: numpy scalars wrap like the
+            # compiled kernel, but warn without the errstate guard.
+            with np.errstate(over="ignore"):
+                outputs = [kernel(*args) for args in kernel_args]
+
+        base_cycles = len(self._kinds) * timings.l1_hit
+        elided_mem = plan.elided_store_memory_accesses
+        return [
+            FastRunResult(
+                cycles=int(base_cycles + extra),
+                memory_accesses=int(mem) + elided_mem,
+                il1_accesses=self._il1_accesses,
+                il1_misses=int(il1_misses),
+                dl1_accesses=self._dl1_accesses,
+                dl1_misses=int(dl1_misses),
+                l2_accesses=int(l2_accesses),
+                l2_misses=int(l2_misses),
+            )
+            for extra, mem, il1_misses, dl1_misses, l2_accesses, l2_misses
+            in outputs
+        ]
+
+
+class JitEngine(Engine):
+    """Optional numba tier: the compiled plan run by a compiled kernel.
+
+    Always registered; :meth:`simulator` raises :class:`JitUnavailable`
+    with the install hint when numba is missing, so ``--engine jit``
+    degrades with a one-line actionable error instead of an import crash.
+    ``force_python=True`` runs the identical kernel interpreted (slow) —
+    the certification path the equivalence suite uses on machines without
+    numba.
+    """
+
+    name = "jit"
+    supports_batch = True
+    bit_exact = True
+    requires_pickle = True
+
+    def __init__(self, force_python: bool = False) -> None:
+        self.force_python = force_python
+
+    def availability(self) -> Optional[str]:
+        if self.force_python:
+            return None
+        return numba_missing_reason()
+
+    def simulator(
+        self, config: HierarchyConfig, compiled: CompiledTrace
+    ) -> _JitSimulator:
+        reason = self.availability()
+        if reason is not None:
+            raise JitUnavailable(reason)
+        return _JitSimulator(
+            config, compiled, compile_kernel=not self.force_python
+        )

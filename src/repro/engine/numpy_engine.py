@@ -2,16 +2,22 @@
 
 The fast engine replays the trace once per seed; a 1000-run campaign is 1000
 Python loops over the trace.  This engine turns the campaign into **one**
-array program: the trace is walked once, and at every access all seeds
-advance together, with cache state carried as ``(n_seeds, n_sets, n_ways)``
-arrays:
+array program: at every step all seeds advance together, with cache state
+carried as per-lane arrays.
 
-* ``tags``    — stored tag per way (``-1`` = invalid),
-* ``dirty``   — dirty bits (write-back caches),
-* ``victims`` — unique-line id per way, to reconstruct writeback targets,
-* ``stamp``   — last-touch clock per way (LRU caches), and
-* a per-seed ``uint64`` SplitMix64 state vector for the random-replacement
-  victim stream (:func:`repro.core.prng.splitmix64_next_array`).
+Two execution paths share the setup and seed-derivation machinery:
+
+* the **plan path** (default) executes a :class:`~repro.engine.plan.TracePlan`
+  compiled by :func:`~repro.engine.plan.compile_plan`: guaranteed hits are
+  elided from the program entirely, hit detection is one read of a
+  ``(lines, lanes)`` presence map (line -> way, ``-1`` = absent) instead of a
+  tag gather-and-compare, invalid-way selection is a per-set occupancy
+  counter (ways fill in order and are never invalidated), and hierarchies
+  whose conflict signature proves seed invariance simulate one lane and
+  replicate the result across the batch;
+* the **interpreter path** (:class:`_LaneCache` + ``_run_lanes_interp``) is
+  the original per-access program, kept as the fallback for configurations
+  the plan compiler does not model and as an independent cross-check.
 
 Placement maps are evaluated per (seed, cache) with the vectorized policy
 hooks (:meth:`repro.core.placement.PlacementPolicy.set_index_array`);
@@ -21,13 +27,10 @@ runs the same SplitMix64 chain as
 :func:`repro.cache.hierarchy.derive_cache_seeds` /
 :func:`repro.cache.cache.derive_policy_seeds`, vectorized, so the engine is
 **bit-exact** with the fast and reference engines for every seed: same
-cycles, same miss counters, same victim streams.  The cross-engine
-equivalence tests assert exactly that.
-
-Per-access work is a handful of numpy gathers/scatters whose cost grows
-sub-linearly with the number of seeds, so batch throughput overtakes the
-fast engine as soon as a few dozen seeds run together (see
-``benchmarks/bench_engine.py``).
+cycles, same miss counters, same victim streams.  Elision never removes a
+victim draw (only guaranteed hits are dropped, and hits never draw), so the
+per-lane SplitMix64 victim streams are consumed in exactly the fast engine's
+order.  The cross-engine equivalence tests assert all of this.
 """
 
 from __future__ import annotations
@@ -43,8 +46,9 @@ from ..core.bits import mask
 from ..core.placement import make_placement, placement_is_randomized
 from ..core.prng import splitmix64_next_array
 from .base import Engine
+from .plan import PlanUnsupported, TracePlan, compile_plan
 
-__all__ = ["NumpyEngine", "DEFAULT_MAX_LANES"]
+__all__ = ["NumpyEngine", "DEFAULT_MAX_LANES", "derive_seed_arrays"]
 
 #: Seeds simulated per internal chunk.  Bounds the working set (state arrays
 #: and per-seed placement maps grow linearly with the lane count) without
@@ -54,8 +58,72 @@ DEFAULT_MAX_LANES = 1024
 _U64_SPACE = 1 << 64
 
 
-class _LaneCache:
-    """One cache level, simulated for all seeds (lanes) at once."""
+def derive_seed_arrays(seeds: Sequence[int]):
+    """Vectorized hierarchy -> cache -> policy seed derivation chain.
+
+    Returns one ``(placement_seeds, replacement_seeds)`` pair of uint64
+    arrays per cache slot (IL1, DL1, L2), bit-identical to the scalar chain
+    in :func:`repro.cache.hierarchy.derive_cache_seeds` /
+    :func:`repro.cache.cache.derive_policy_seeds`.
+    """
+    states = np.array([seed & mask(64) for seed in seeds], dtype=np.uint64)
+    cache_seeds = [splitmix64_next_array(states) for _ in range(3)]
+    per_cache = []
+    for cache_state in cache_seeds:
+        policy_state = cache_state.copy()
+        placement_seeds = splitmix64_next_array(policy_state)
+        # The drawn replacement seed is the initial SplitMix64 state of
+        # the per-lane victim stream (SplitMix64(seed).state == seed).
+        replacement_seeds = splitmix64_next_array(policy_state)
+        per_cache.append((placement_seeds, replacement_seeds))
+    return per_cache
+
+
+class _ReplacementRng:
+    """Shared vectorized ``SplitMix64.next_below(ways)`` victim stream."""
+
+    ways: int
+    rng_state: np.ndarray
+
+    def _advance_rng(self, idx: np.ndarray) -> np.ndarray:
+        states = self.rng_state[idx]
+        out = splitmix64_next_array(states)
+        self.rng_state[idx] = states
+        return out
+
+    def _draw_below(self, idx: np.ndarray, values=None) -> np.ndarray:
+        """Vectorized ``SplitMix64.next_below(ways)`` for the given lanes."""
+        bound = self.ways
+        if values is None:
+            values = self._advance_rng(idx)
+        if not bound & (bound - 1):
+            return (values & np.uint64(bound - 1)).astype(np.int64)
+        if _U64_SPACE % bound == 0:
+            return (values % bound).astype(np.int64)
+        limit = np.uint64(_U64_SPACE - _U64_SPACE % bound)
+        accepted = values < limit
+        if accepted.all():
+            # Rejection is rare (non-power-of-two ``ways`` only, and the
+            # reject band is a vanishing fraction of the 64-bit space).
+            return (values % bound).astype(np.int64)
+        result = np.empty(idx.size, dtype=np.int64)
+        pending = np.arange(idx.size)
+        while True:
+            result[pending[accepted]] = (values[accepted] % bound).astype(np.int64)
+            pending = pending[~accepted]
+            if not pending.size:
+                return result
+            values = self._advance_rng(idx[pending])
+            accepted = values < limit
+
+    def _draw_below_all(self) -> np.ndarray:
+        """``_draw_below`` over every lane: the state advances in place, no
+        gather/scatter round-trip."""
+        return self._draw_below(self._all_idx, splitmix64_next_array(self.rng_state))
+
+
+class _LaneCache(_ReplacementRng):
+    """One cache level in interpreter form: tag arrays per (lane, set, way)."""
 
     def __init__(
         self,
@@ -125,28 +193,141 @@ class _LaneCache:
                 victim[full] = self._draw_below(full_idx)
         return victim
 
-    def _advance_rng(self, idx: np.ndarray) -> np.ndarray:
-        states = self.rng_state[idx]
-        out = splitmix64_next_array(states)
-        self.rng_state[idx] = states
-        return out
 
-    def _draw_below(self, idx: np.ndarray) -> np.ndarray:
-        """Vectorized ``SplitMix64.next_below(ways)`` for the given lanes."""
-        bound = self.ways
-        values = self._advance_rng(idx)
-        if _U64_SPACE % bound == 0:
-            return (values % bound).astype(np.int64)
-        limit = np.uint64(_U64_SPACE - _U64_SPACE % bound)
-        result = np.empty(idx.size, dtype=np.int64)
-        pending = np.arange(idx.size)
-        while True:
-            accepted = values < limit
-            result[pending[accepted]] = (values[accepted] % bound).astype(np.int64)
-            pending = pending[~accepted]
-            if not pending.size:
-                return result
-            values = self._advance_rng(idx[pending])
+class _PlanCache(_ReplacementRng):
+    """One cache level in plan-execution form: presence map + flat cells.
+
+    ``way_of[uid, lane]`` is the way holding unique line ``uid`` in ``lane``
+    (``-1`` = absent), replacing the interpreter's tag gather-and-compare
+    with one row read.  All per-(lane, set, way) state lives in flat arrays
+    addressed by precomputed cell indices: ``occ_cell[uid, lane]`` is the
+    (lane, set) cell of ``uid`` and ``occ_cell * ways + way`` its way cell,
+    so the hot path gathers with one integer add instead of a 3-D
+    multi-index.  Ways fill in order and are never invalidated, so a per-set
+    occupancy counter identifies the first invalid way without scanning, and
+    ``resident[uid]`` counts the lanes currently holding ``uid`` — the
+    executor's all-lanes-hit / all-lanes-miss test is one Python integer
+    comparison, no array op at all.
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        n_lanes: int,
+        line_sets: np.ndarray,
+        line_tags: np.ndarray,
+        replacement_states: np.ndarray,
+    ) -> None:
+        self.n_lanes = n_lanes
+        self.ways = config.ways
+        self.write_back = config.write_policy == WRITE_BACK
+        self.lru = config.replacement == "lru"
+        self.line_sets = line_sets
+        lane_offsets = np.arange(n_lanes, dtype=np.int64) * config.num_sets
+        if line_sets.ndim == 2:
+            self.occ_cell = line_sets + lane_offsets[None, :]
+        else:
+            self.occ_cell = line_sets[:, None] + lane_offsets[None, :]
+        cells = n_lanes * config.num_sets * config.ways
+        self.way_of = np.full((len(line_tags), n_lanes), -1, dtype=np.int16)
+        self.occupancy = np.zeros(n_lanes * config.num_sets, dtype=np.int16)
+        self.dirty = np.zeros(cells, dtype=bool)
+        self.victims = np.zeros(cells, dtype=np.int32)
+        self.resident = np.zeros(len(line_tags), dtype=np.int64)
+        self._all_idx = np.arange(n_lanes)
+        if self.lru:
+            self.stamp = np.zeros(cells, dtype=np.int64)
+            self.stamp_sets = self.stamp.reshape(-1, config.ways)
+            self._clock = 0
+        else:
+            self.rng_state = replacement_states
+        self.misses = np.zeros(n_lanes, dtype=np.int64)
+        self.accesses = np.zeros(n_lanes, dtype=np.int64)
+
+    def touch_cells(self, cells: np.ndarray) -> None:
+        if self.lru:
+            self._clock += 1
+            self.stamp[cells] = self._clock
+
+    def _evict_resident(self, evicted) -> None:
+        resident = self.resident
+        if evicted.size > 16:
+            resident -= np.bincount(evicted, minlength=resident.size)
+        else:
+            for uid in evicted.tolist():
+                resident[uid] -= 1
+
+    def allocate(self, idx, occ_cells, uids, make_dirty, collect=False,
+                 all_lanes=False):
+        """Victim choice + eviction + install for the missing lanes ``idx``.
+
+        ``occ_cells`` are the (lane, set) cells of the target line in those
+        lanes; ``uids`` is the installed line (scalar, or per-lane array for
+        writeback targets).  With ``collect`` the dirty evicted victims are
+        returned as ``(lanes, uids)`` (else ``(None, None)``) — demand fills
+        charge them, plain L2 write allocations drop them, mirroring the
+        fast engine.  ``all_lanes`` asserts ``idx`` covers every lane in
+        order (the dominant cold-miss case), turning scatters into whole-row
+        writes.
+        """
+        occ = self.occupancy[occ_cells]
+        full = occ >= self.ways
+        wb_lanes = wb_uids = None
+        if full.all():
+            # Steady state: every target set is full, occupancy is pinned at
+            # ``ways`` and every fill evicts.
+            if self.lru:
+                victim = self.stamp_sets[occ_cells].argmin(axis=1)
+            elif all_lanes:
+                victim = self._draw_below_all()
+            else:
+                victim = self._draw_below(idx)
+            cells = occ_cells * self.ways + victim
+            evicted = self.victims[cells]
+            self.way_of[evicted, idx] = -1
+            self._evict_resident(evicted)
+            if collect and self.write_back:
+                needs = self.dirty[cells]
+                if needs.any():
+                    wb_lanes = idx[needs]
+                    wb_uids = evicted[needs]
+        elif full.any():
+            victim = occ.copy()
+            full_idx = idx[full]
+            if self.lru:
+                victim[full] = self.stamp_sets[occ_cells[full]].argmin(axis=1)
+            else:
+                victim[full] = self._draw_below(full_idx)
+            self.occupancy[occ_cells] = np.minimum(occ + 1, self.ways)
+            cells = occ_cells * self.ways + victim
+            evict_cells = cells[full]
+            evicted = self.victims[evict_cells]
+            self.way_of[evicted, full_idx] = -1
+            self._evict_resident(evicted)
+            if collect and self.write_back:
+                needs = self.dirty[evict_cells]
+                if needs.any():
+                    wb_lanes = full_idx[needs]
+                    wb_uids = evicted[needs]
+        else:
+            victim = occ
+            self.occupancy[occ_cells] = occ + 1
+            cells = occ_cells * self.ways + victim
+        self.victims[cells] = uids
+        if self.write_back:
+            self.dirty[cells] = make_dirty
+        if isinstance(uids, int):
+            if all_lanes:
+                self.way_of[uids] = victim
+            else:
+                self.way_of[uids, idx] = victim
+            self.resident[uids] += idx.size
+        else:
+            self.way_of[uids, idx] = victim
+            for uid in uids.tolist():
+                self.resident[uid] += 1
+        self.touch_cells(cells)
+        return wb_lanes, wb_uids
 
 
 class _VectorSimulator:
@@ -157,6 +338,7 @@ class _VectorSimulator:
         config: HierarchyConfig,
         compiled: CompiledTrace,
         max_lanes: Optional[int] = None,
+        use_plan: Optional[bool] = None,
     ) -> None:
         if config.l2 is not None and config.l2.write_policy != WRITE_BACK:
             raise ValueError("numpy engine models the L2 as write-back only")
@@ -168,6 +350,17 @@ class _VectorSimulator:
         self._line_ids = list(compiled.line_ids)
         self._il1_accesses = sum(1 for kind in self._kinds if kind == FETCH_KIND)
         self._dl1_accesses = len(self._kinds) - self._il1_accesses
+        # Rows of the per-lane placement maps each L1 can actually index:
+        # fetches only ever reach the IL1 and data accesses the DL1, so each
+        # randomized L1 map is evaluated over its own lines only.  The L2
+        # sees any line (demands and writebacks) and keeps the full table.
+        kinds_arr = np.array(compiled.kinds)
+        ids_arr = np.array(compiled.line_ids, dtype=np.int64)
+        self._slot_rows = (
+            np.unique(ids_arr[kinds_arr == FETCH_KIND]),
+            np.unique(ids_arr[kinds_arr != FETCH_KIND]),
+            None,
+        )
         # Seed-invariant per-cache tables: placement policy objects (reseeded
         # per lane for randomized policies), tag arrays, and the shared map
         # of deterministic policies (mirrors the fast engine's static maps).
@@ -181,6 +374,18 @@ class _VectorSimulator:
             tags = policy.tag_array(self._lines)
             static_sets = None if randomized else policy.set_index_array(self._lines)
             self._slots.append((cache_config, policy, randomized, tags, static_sets))
+        self._plan: Optional[TracePlan] = None
+        if use_plan is None or use_plan:
+            try:
+                self._plan = compile_plan(config, compiled)
+            except PlanUnsupported:
+                if use_plan:
+                    raise
+
+    @property
+    def plan(self) -> Optional[TracePlan]:
+        """The compiled :class:`TracePlan`, or None on the fallback path."""
+        return self._plan
 
     # ----------------------------------------------------------------- public
 
@@ -188,54 +393,289 @@ class _VectorSimulator:
         return self.run_batch([seed])[0]
 
     def run_batch(self, seeds: Sequence[int]) -> List[FastRunResult]:
-        results: List[FastRunResult] = []
         seeds = list(seeds)
+        if self._plan is not None:
+            if self._plan.seed_invariant and len(seeds) > 1:
+                # One equivalence class: simulate one lane, replicate.
+                return self._run_lanes_plan(seeds[:1]) * len(seeds)
+            runner = self._run_lanes_plan
+        else:
+            runner = self._run_lanes_interp
+        results: List[FastRunResult] = []
         for start in range(0, len(seeds), self.max_lanes):
-            results.extend(self._run_lanes(seeds[start : start + self.max_lanes]))
+            results.extend(runner(seeds[start : start + self.max_lanes]))
         return results
 
     # ------------------------------------------------------------------ setup
 
-    def _derive_seed_arrays(self, seeds: Sequence[int]):
-        """Vectorized hierarchy -> cache -> policy seed derivation chain."""
-        states = np.array([seed & mask(64) for seed in seeds], dtype=np.uint64)
-        cache_seeds = [splitmix64_next_array(states) for _ in range(3)]
-        per_cache = []
-        for cache_state in cache_seeds:
-            policy_state = cache_state.copy()
-            placement_seeds = splitmix64_next_array(policy_state)
-            # The drawn replacement seed is the initial SplitMix64 state of
-            # the per-lane victim stream (SplitMix64(seed).state == seed).
-            replacement_seeds = splitmix64_next_array(policy_state)
-            per_cache.append((placement_seeds, replacement_seeds))
-        return per_cache
-
-    def _build_cache(self, slot_state, n_lanes, placement_seeds, replacement_seeds):
+    def _build_cache(
+        self, slot_state, n_lanes, placement_seeds, replacement_seeds,
+        cls=_LaneCache, rows=None,
+    ):
         cache_config, policy, randomized, tags, static_sets = slot_state
         if randomized:
-            maps = np.empty((len(self._lines), n_lanes), dtype=np.int64)
-            for lane in range(n_lanes):
-                policy.reseed(int(placement_seeds[lane]))
-                maps[:, lane] = policy.set_index_array(self._lines)
-            line_sets = maps
+            seed_list = [int(seed) for seed in placement_seeds]
+            if rows is not None and rows.size < len(self._lines):
+                # Evaluate the map only over the rows this slot can index;
+                # the remaining rows are never read.
+                line_sets = np.zeros((len(self._lines), n_lanes), dtype=np.int64)
+                line_sets[rows] = policy.set_index_matrix(
+                    self._lines[rows], seed_list
+                )
+            else:
+                line_sets = policy.set_index_matrix(self._lines, seed_list)
         else:
             line_sets = static_sets
-        return _LaneCache(cache_config, n_lanes, line_sets, tags, replacement_seeds)
+        return cls(cache_config, n_lanes, line_sets, tags, replacement_seeds)
 
-    # ------------------------------------------------------------- simulation
-
-    def _run_lanes(self, seeds: Sequence[int]) -> List[FastRunResult]:
-        if not seeds:
-            return []
+    def _build_hierarchy(self, seeds: Sequence[int], cls):
         n = len(seeds)
-        per_cache = self._derive_seed_arrays(seeds)
-        il1 = self._build_cache(self._slots[0], n, *per_cache[0])
-        dl1 = self._build_cache(self._slots[1], n, *per_cache[1])
+        per_cache = derive_seed_arrays(seeds)
+        rows = self._slot_rows
+        il1 = self._build_cache(self._slots[0], n, *per_cache[0], cls=cls, rows=rows[0])
+        dl1 = self._build_cache(self._slots[1], n, *per_cache[1], cls=cls, rows=rows[1])
         l2 = (
-            self._build_cache(self._slots[2], n, *per_cache[2])
+            self._build_cache(self._slots[2], n, *per_cache[2], cls=cls)
             if self._slots[2] is not None
             else None
         )
+        return il1, dl1, l2
+
+    def _package_results(
+        self, n, il1, dl1, l2, extra_cycles, memory_accesses
+    ) -> List[FastRunResult]:
+        base_cycles = len(self._kinds) * self.config.timings.l1_hit
+        return [
+            FastRunResult(
+                cycles=int(base_cycles + extra_cycles[i]),
+                memory_accesses=int(memory_accesses[i]),
+                il1_accesses=self._il1_accesses,
+                il1_misses=int(il1.misses[i]),
+                dl1_accesses=self._dl1_accesses,
+                dl1_misses=int(dl1.misses[i]),
+                l2_accesses=int(l2.accesses[i]) if l2 is not None else 0,
+                l2_misses=int(l2.misses[i]) if l2 is not None else 0,
+            )
+            for i in range(n)
+        ]
+
+    # ------------------------------------------------------- plan execution
+
+    def _run_lanes_plan(self, seeds: Sequence[int]) -> List[FastRunResult]:
+        if not seeds:
+            return []
+        plan = self._plan
+        n = len(seeds)
+        il1, dl1, l2 = self._build_hierarchy(seeds, _PlanCache)
+
+        timings = self.config.timings
+        l2_hit_latency = timings.l2_hit
+        memory_latency = timings.memory
+        writeback_latency = timings.writeback
+
+        extra_cycles = np.zeros(n, dtype=np.int64)
+        memory_accesses = np.full(
+            n, plan.elided_store_memory_accesses, dtype=np.int64
+        )
+        lanes = np.arange(n)
+        l1s = (il1, dl1)
+
+        for slot, uid, is_store, sure_hit, dirty_after in plan.steps:
+            l1 = l1s[slot]
+            if sure_hit or l1.resident[uid] == n:
+                # Every lane hits: touch / store traffic only.
+                if not (l1.lru or is_store or dirty_after):
+                    continue
+                if l1.lru or (is_store and l1.write_back) or dirty_after:
+                    cells = l1.occ_cell[uid] * l1.ways + l1.way_of[uid]
+                    l1.touch_cells(cells)
+                    if (is_store and l1.write_back) or dirty_after:
+                        l1.dirty[cells] = True
+                if is_store and not l1.write_back:
+                    if l2 is not None:
+                        self._plan_l2_write(l2, lanes, uid, all_lanes=True)
+                    else:
+                        memory_accesses += 1
+                continue
+
+            ways_u = l1.way_of[uid]
+            occ_row = l1.occ_cell[uid]
+            all_miss = not l1.resident[uid]
+            if all_miss:
+                hit_idx = None
+                miss_idx = lanes
+            elif l1.lru or is_store:
+                hit = ways_u >= 0
+                hit_idx = np.nonzero(hit)[0]
+                miss_idx = np.nonzero(~hit)[0]
+            else:
+                hit_idx = None
+                miss_idx = np.nonzero(ways_u < 0)[0]
+
+            if hit_idx is not None and hit_idx.size:
+                if l1.lru or (is_store and l1.write_back):
+                    hit_cells = occ_row[hit_idx] * l1.ways + ways_u[hit_idx]
+                    l1.touch_cells(hit_cells)
+                    if is_store and l1.write_back:
+                        l1.dirty[hit_cells] = True
+                if is_store and not l1.write_back:
+                    if l2 is not None:
+                        self._plan_l2_write(l2, hit_idx, uid)
+                    else:
+                        memory_accesses[hit_idx] += 1
+
+            if all_miss:
+                l1.misses += 1
+            else:
+                l1.misses[miss_idx] += 1
+            writeback_lanes = writeback_uids = None
+            if not (is_store and not l1.write_back):
+                writeback_lanes, writeback_uids = l1.allocate(
+                    miss_idx, occ_row if all_miss else occ_row[miss_idx], uid,
+                    is_store and l1.write_back, collect=l1.write_back,
+                    all_lanes=all_miss,
+                )
+            if dirty_after:
+                # Elided write-back store hits of this step's run: the line
+                # is now resident in every lane (hit or just filled).
+                l1.dirty[occ_row * l1.ways + l1.way_of[uid]] = True
+
+            # Dirty L1 victims go to the next level first.
+            if writeback_lanes is not None:
+                if l2 is not None:
+                    extra_cycles[writeback_lanes] += writeback_latency
+                    self._plan_l2_write(l2, writeback_lanes, None, writeback_uids)
+                else:
+                    extra_cycles[writeback_lanes] += memory_latency
+                    memory_accesses[writeback_lanes] += 1
+
+            # The demand request goes to the next level.
+            if l2 is None:
+                if all_miss:
+                    extra_cycles += memory_latency
+                    memory_accesses += 1
+                else:
+                    extra_cycles[miss_idx] += memory_latency
+                    memory_accesses[miss_idx] += 1
+                continue
+            if all_miss:
+                extra_cycles += l2_hit_latency
+            else:
+                extra_cycles[miss_idx] += l2_hit_latency
+            self._plan_l2_demand(
+                l2, miss_idx, uid, is_store and not l1.write_back,
+                extra_cycles, memory_accesses, writeback_latency, memory_latency,
+                all_lanes=all_miss,
+            )
+
+        return self._package_results(n, il1, dl1, l2, extra_cycles, memory_accesses)
+
+    def _plan_l2_write(self, l2, idx, uid, uids=None, all_lanes=False) -> None:
+        """Latency-free write-through/writeback update of the L2 (plan form).
+
+        Mirrors ``FastHierarchySimulator._l2_write``: hits are marked dirty,
+        misses allocate (dirty) without charging latency or memory traffic —
+        dirty victims of a write allocation are dropped, exactly like the
+        fast engine.  ``uid`` is the scalar store target; writebacks pass
+        per-lane ``uids``.
+        """
+        if all_lanes:
+            l2.accesses += 1
+        else:
+            l2.accesses[idx] += 1
+        if uids is None:
+            if l2.resident[uid] == l2.n_lanes:
+                if all_lanes:
+                    cells = l2.occ_cell[uid] * l2.ways + l2.way_of[uid]
+                else:
+                    cells = l2.occ_cell[uid][idx] * l2.ways + l2.way_of[uid][idx]
+                l2.touch_cells(cells)
+                l2.dirty[cells] = True
+                return
+            occ = l2.occ_cell[uid][idx]
+            ways = l2.way_of[uid][idx]
+        else:
+            occ = l2.occ_cell[uids, idx]
+            ways = l2.way_of[uids, idx]
+        hit = ways >= 0
+        hit_pos = np.nonzero(hit)[0]
+        if hit_pos.size:
+            cells = occ[hit_pos] * l2.ways + ways[hit_pos]
+            l2.touch_cells(cells)
+            l2.dirty[cells] = True
+        miss = np.nonzero(~hit)[0]
+        if not miss.size:
+            return
+        miss_idx = idx[miss]
+        l2.misses[miss_idx] += 1
+        fill_uids = uid if uids is None else uids[miss]
+        l2.allocate(miss_idx, occ[miss], fill_uids, True)
+
+    def _plan_l2_demand(
+        self, l2, idx, uid, is_write, extra_cycles, memory_accesses,
+        writeback_latency, memory_latency, all_lanes=False,
+    ) -> None:
+        """Demand fill of ``uid`` in the L2 for the given lanes (with latency)."""
+        if all_lanes:
+            l2.accesses += 1
+        else:
+            l2.accesses[idx] += 1
+        resident = int(l2.resident[uid])
+        if resident == l2.n_lanes:
+            if l2.lru or is_write:
+                if all_lanes:
+                    cells = l2.occ_cell[uid] * l2.ways + l2.way_of[uid]
+                else:
+                    cells = l2.occ_cell[uid][idx] * l2.ways + l2.way_of[uid][idx]
+                l2.touch_cells(cells)
+                if is_write:
+                    l2.dirty[cells] = True
+            return
+        if resident:
+            occ = l2.occ_cell[uid][idx] if not all_lanes else l2.occ_cell[uid]
+            ways = l2.way_of[uid][idx] if not all_lanes else l2.way_of[uid]
+            hit = ways >= 0
+            miss = np.nonzero(~hit)[0]
+            if l2.lru or is_write:
+                hit_pos = np.nonzero(hit)[0]
+                if hit_pos.size:
+                    cells = occ[hit_pos] * l2.ways + ways[hit_pos]
+                    l2.touch_cells(cells)
+                    if is_write:
+                        l2.dirty[cells] = True
+            if not miss.size:
+                return
+            miss_idx = idx[miss]
+            occ_miss = occ[miss]
+            miss_all = False
+        else:
+            miss_idx = idx
+            occ_miss = l2.occ_cell[uid][idx] if not all_lanes else l2.occ_cell[uid]
+            miss_all = all_lanes
+        if miss_all:
+            l2.misses += 1
+        else:
+            l2.misses[miss_idx] += 1
+        wb_lanes, _wb_uids = l2.allocate(
+            miss_idx, occ_miss, uid, is_write, collect=True, all_lanes=miss_all
+        )
+        if wb_lanes is not None:
+            extra_cycles[wb_lanes] += writeback_latency
+            memory_accesses[wb_lanes] += 1
+        if miss_all:
+            extra_cycles += memory_latency
+            memory_accesses += 1
+        else:
+            extra_cycles[miss_idx] += memory_latency
+            memory_accesses[miss_idx] += 1
+
+    # -------------------------------------------- interpreter (fallback) path
+
+    def _run_lanes_interp(self, seeds: Sequence[int]) -> List[FastRunResult]:
+        if not seeds:
+            return []
+        n = len(seeds)
+        il1, dl1, l2 = self._build_hierarchy(seeds, _LaneCache)
 
         timings = self.config.timings
         l2_hit_latency = timings.l2_hit
@@ -322,20 +762,7 @@ class _VectorSimulator:
                 writeback_latency, memory_latency,
             )
 
-        base_cycles = len(self._kinds) * timings.l1_hit
-        return [
-            FastRunResult(
-                cycles=int(base_cycles + extra_cycles[i]),
-                memory_accesses=int(memory_accesses[i]),
-                il1_accesses=self._il1_accesses,
-                il1_misses=int(il1.misses[i]),
-                dl1_accesses=self._dl1_accesses,
-                dl1_misses=int(dl1.misses[i]),
-                l2_accesses=int(l2.accesses[i]) if l2 is not None else 0,
-                l2_misses=int(l2.misses[i]) if l2 is not None else 0,
-            )
-            for i in range(n)
-        ]
+        return self._package_results(n, il1, dl1, l2, extra_cycles, memory_accesses)
 
     def _l2_demand(
         self, l2, idx, uid, is_write, extra_cycles, memory_accesses,
@@ -405,17 +832,30 @@ class _VectorSimulator:
 
 
 class NumpyEngine(Engine):
-    """Vectorized batch engine: one array program per campaign chunk."""
+    """Vectorized batch engine: one array program per campaign chunk.
+
+    ``use_plan`` selects the execution path: ``None`` (default) compiles a
+    :class:`~repro.engine.plan.TracePlan` and falls back to the per-access
+    interpreter for unsupported configurations, ``True`` requires the plan
+    (raising :class:`~repro.engine.plan.PlanUnsupported` otherwise) and
+    ``False`` forces the interpreter (used by the equivalence tests to
+    cross-check the two paths).
+    """
 
     name = "numpy"
     supports_batch = True
     bit_exact = True
     requires_pickle = True
 
-    def __init__(self, max_lanes: Optional[int] = None) -> None:
+    def __init__(
+        self, max_lanes: Optional[int] = None, use_plan: Optional[bool] = None
+    ) -> None:
         self.max_lanes = max_lanes
+        self.use_plan = use_plan
 
     def simulator(
         self, config: HierarchyConfig, compiled: CompiledTrace
     ) -> _VectorSimulator:
-        return _VectorSimulator(config, compiled, max_lanes=self.max_lanes)
+        return _VectorSimulator(
+            config, compiled, max_lanes=self.max_lanes, use_plan=self.use_plan
+        )

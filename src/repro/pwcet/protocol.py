@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -369,19 +370,67 @@ def _bootstrap_intervals(
     estimates = fitter.fit_batch(resampled, config)
     low_percentile = 100.0 * (1.0 - BOOTSTRAP_CONFIDENCE) / 2.0
     high_percentile = 100.0 - low_percentile
-    intervals: List[Dict[float, Tuple[float, float]]] = []
-    for campaign in range(n_campaigns):
-        per_cutoff: Dict[float, Tuple[float, float]] = {}
-        campaign_estimates = estimates[
-            campaign * n_resamples : (campaign + 1) * n_resamples
-        ]
-        for probability in config.exceedance_probabilities:
-            values = np.array(
-                [estimate.curve.pwcet(probability) for estimate in campaign_estimates]
-            )
-            per_cutoff[probability] = (
-                float(np.percentile(values, low_percentile)),
-                float(np.percentile(values, high_percentile)),
-            )
-        intervals.append(per_cutoff)
-    return intervals
+    bounds = {
+        probability: np.percentile(
+            _pwcet_values_batch(estimates, probability).reshape(
+                n_campaigns, n_resamples
+            ),
+            [low_percentile, high_percentile],
+            axis=1,
+        )
+        for probability in config.exceedance_probabilities
+    }
+    return [
+        {
+            probability: (float(pair[0, campaign]), float(pair[1, campaign]))
+            for probability, pair in bounds.items()
+        }
+        for campaign in range(n_campaigns)
+    ]
+
+
+def _pwcet_values_batch(
+    estimates: Sequence[TailEstimate], probability: float
+) -> np.ndarray:
+    """pWCET of every estimate at one cutoff, as one array program.
+
+    Bit-identical to ``[e.curve.pwcet(probability) for e in estimates]``:
+    the transcendental part of each curve's inverse depends only on the
+    cutoff and a small set of shared parameters (the block size of a Gumbel
+    curve, the exceedance rate of an exponential-tail curve), so it is
+    computed once per distinct value with the same ``math`` calls as the
+    scalar path — the float64 results then enter an elementwise multiply
+    and subtract, which numpy evaluates with the exact same IEEE operations
+    as the scalar expressions.  Unknown curve types fall back to the loop.
+    """
+    from .estimators import ExponentialTailCurve
+    from .evt import PWcetCurve
+
+    curves = [estimate.curve for estimate in estimates]
+    values = np.empty(len(curves), dtype=float)
+    if all(type(curve) is PWcetCurve for curve in curves):
+        by_block: Dict[int, List[int]] = {}
+        for position, curve in enumerate(curves):
+            by_block.setdefault(curve.block_size, []).append(position)
+        for block_size, positions in by_block.items():
+            block_probability = min(probability * block_size, 1.0 - 1e-12)
+            scaled_log = math.log(-math.log1p(-block_probability))
+            locations = np.array([curves[i].fit.location for i in positions])
+            scales = np.array([curves[i].fit.scale for i in positions])
+            values[positions] = locations - scales * scaled_log
+        return values
+    if all(type(curve) is ExponentialTailCurve for curve in curves):
+        by_rate: Dict[float, List[int]] = {}
+        for position, curve in enumerate(curves):
+            by_rate.setdefault(curve.fit.exceedance_rate, []).append(position)
+        for rate, positions in by_rate.items():
+            thresholds = np.array([curves[i].fit.threshold for i in positions])
+            if probability >= rate:
+                values[positions] = thresholds
+            else:
+                scales = np.array([curves[i].fit.scale for i in positions])
+                values[positions] = thresholds + scales * math.log(
+                    rate / probability
+                )
+        return values
+    return np.array([curve.pwcet(probability) for curve in curves])

@@ -9,6 +9,7 @@ import pytest
 from repro.__main__ import EXPERIMENTS, build_parser, main
 from repro.analysis.report import CSV_HEADER
 from repro.engine import available_engines
+from repro.engine.jit import numba_missing_reason
 
 
 class TestParser:
@@ -51,6 +52,12 @@ class TestEngineSelection:
         assert args.engine == "numpy"
         assert set(available_engines()) >= {"fast", "numpy", "reference"}
 
+    def test_jit_is_a_parser_choice_even_without_numba(self):
+        # Registered engines are CLI choices regardless of availability;
+        # the actionable error comes later, from settings validation.
+        args = build_parser().parse_args(["run", "fig5", "--engine", "jit"])
+        assert args.engine == "jit"
+
     def test_unregistered_engine_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig5", "--engine", "warp"])
@@ -60,6 +67,46 @@ class TestEngineSelection:
             ["run", "fig5", "--runs", "20", "--scale", "0.25", "--engine", "numpy"]
         ) == 0
         assert "pWCET" in capsys.readouterr().out
+
+    @pytest.mark.skipif(
+        numba_missing_reason() is None, reason="numba installed"
+    )
+    def test_unavailable_jit_fails_up_front_with_install_hint(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "fig5", "--runs", "20", "--engine", "jit"])
+        assert excinfo.value.code == 2  # argparse usage error, pre-campaign
+        err = capsys.readouterr().err
+        assert "numba" in err and "jit" in err
+
+    @pytest.mark.skipif(
+        numba_missing_reason() is not None,
+        reason="numba not installed (optional 'jit' extra)",
+    )
+    def test_run_with_jit_engine(self, capsys):
+        assert main(
+            ["run", "fig5", "--runs", "20", "--scale", "0.25", "--engine", "jit"]
+        ) == 0
+        assert "pWCET" in capsys.readouterr().out
+
+
+class TestEnginesCommand:
+    def test_engines_matrix_lists_every_registered_engine(self, capsys):
+        from repro.engine import registered_engines
+
+        assert main(["engines"]) == 0
+        output = capsys.readouterr().out
+        for name in registered_engines():
+            assert name in output
+        assert "available" in output
+
+    def test_engines_matrix_reports_numba_importability(self, capsys):
+        assert main(["engines"]) == 0
+        output = capsys.readouterr().out
+        assert "numba" in output
+        expected = (
+            "importable" if numba_missing_reason() is None else "not importable"
+        )
+        assert expected in output
 
 
 class TestEstimatorSelection:

@@ -18,7 +18,7 @@ from repro.cache.fastsim import CompiledTrace
 from repro.cache.hierarchy import HierarchyConfig, MemoryTimings
 from repro.cpu.core import TraceDrivenCore
 from repro.cpu.trace import Trace
-from repro.engine import available_engines, get_engine
+from repro.engine import JitEngine, NumpyEngine, available_engines, get_engine
 
 
 def build_config(
@@ -51,12 +51,33 @@ def build_config(
     return HierarchyConfig(il1=il1, dl1=dl1, l2=l2, timings=MemoryTimings())
 
 
+#: Execution paths beyond the registry defaults: both numpy paths pinned
+#: explicitly (the registered engine picks one automatically) and the jit
+#: kernel run interpreted — the tier's certification path on machines
+#: without numba (the registry covers the compiled form when numba exists).
+EXTRA_PATHS = {
+    "numpy-plan": lambda: NumpyEngine(use_plan=True),
+    "numpy-interp": lambda: NumpyEngine(use_plan=False),
+    "jit-python": lambda: JitEngine(force_python=True),
+}
+
+
 def run_all_engines(config, trace, seeds):
     """Map engine name -> list of per-seed result dicts, via the registry."""
     compiled = CompiledTrace(trace, line_size=config.il1.line_size)
     results = {}
     for name in available_engines():
         simulator = get_engine(name).simulator(config, compiled)
+        results[name] = [result.as_dict() for result in simulator.run_batch(seeds)]
+    return results
+
+
+def run_all_paths(config, trace, seeds):
+    """Registry engines plus the plan / interpreter / jit-kernel paths."""
+    results = run_all_engines(config, trace, seeds)
+    compiled = CompiledTrace(trace, line_size=config.il1.line_size)
+    for name, make_engine in EXTRA_PATHS.items():
+        simulator = make_engine().simulator(config, compiled)
         results[name] = [result.as_dict() for result in simulator.run_batch(seeds)]
     return results
 
@@ -101,7 +122,7 @@ class TestAllRegisteredEnginesAgree:
             l2_replacement=l2_replacement,
             with_l2=with_l2,
         )
-        assert_all_equal(run_all_engines(config, trace, [seed, seed ^ 0xDEAD]))
+        assert_all_equal(run_all_paths(config, trace, [seed, seed ^ 0xDEAD]))
 
     def test_l2_lru_and_deterministic_l2_placement(self, small_kernel_trace):
         """Directed coverage of the L2 LRU-stamp and static-map paths."""
@@ -118,6 +139,26 @@ class TestAllRegisteredEnginesAgree:
         config = build_config(l1_placement="hrp", ways=3)
         assert_all_equal(run_all_engines(config, small_kernel_trace, list(range(8))))
 
+    def test_lru_write_through_store_demotion(self, small_kernel_trace):
+        """WT store hits under LRU touch stamps without establishing
+        residence guarantees — the exact interaction the plan compiler's
+        guard-drop rule exists for (see repro.engine.plan)."""
+        for l1_placement, ways, with_l2 in (
+            ("modulo", 3, False),
+            ("xor", 2, True),
+            ("rm", 2, True),
+        ):
+            config = build_config(
+                l1_placement=l1_placement,
+                l1_replacement="lru",
+                l1_write="write-through",
+                with_l2=with_l2,
+                ways=ways,
+            )
+            assert_all_equal(
+                run_all_paths(config, small_kernel_trace, list(range(6)))
+            )
+
     def test_trace_core_routes_all_engines(self, small_kernel_trace, tiny_hierarchy_config):
         core = TraceDrivenCore(tiny_hierarchy_config, small_kernel_trace)
         for seed in (0, 9, 2**63 + 5):
@@ -126,6 +167,58 @@ class TestAllRegisteredEnginesAgree:
                 for name in available_engines()
             }
             assert_all_equal(runs)
+
+
+class TestPlanPathEdgeCases:
+    """Degenerate shapes where the plan compiler's derived structure could
+    go wrong: every path (fast, plan, interpreter, jit kernel) must agree."""
+
+    def _single_set_config(self, ways, placement, replacement, write):
+        l1_size = ways * 32  # exactly one set
+        cache = dict(
+            size_bytes=l1_size, ways=ways, line_size=32,
+            placement=placement, replacement=replacement, write_policy=write,
+        )
+        return HierarchyConfig(
+            il1=CacheConfig(name="IL1", **cache),
+            dl1=CacheConfig(name="DL1", **cache),
+            l2=None,
+            timings=MemoryTimings(),
+        )
+
+    @pytest.mark.parametrize("replacement", ["random", "lru"])
+    # rm cannot express num_sets == 1 (the permutation network needs at
+    # least one index bit), so hrp is the randomized-placement lens here.
+    @pytest.mark.parametrize("placement", ["modulo", "hrp"])
+    def test_single_set_caches(self, small_kernel_trace, placement, replacement):
+        """num_sets == 1: every line conflicts with every other line."""
+        config = self._single_set_config(4, placement, replacement, "write-through")
+        assert_all_equal(run_all_paths(config, small_kernel_trace, [0, 1, 7]))
+
+    @pytest.mark.parametrize("write", ["write-through", "write-back"])
+    def test_direct_mapped_caches(self, small_kernel_trace, write):
+        """ways == 1: the victim is forced, but draws must still be consumed
+        in the fast engine's order for randomized replacement."""
+        for placement in ("modulo", "hrp"):
+            config = build_config(
+                l1_placement=placement, l1_write=write, ways=1, with_l2=True
+            )
+            assert_all_equal(run_all_paths(config, small_kernel_trace, [3, 11]))
+
+    def test_traces_shorter_than_one_run(self):
+        """0/1/2-access traces: no same-line run ever forms."""
+        for accesses in ([], [(0, 0)], [(2, 5), (2, 5)], [(1, 3), (2, 3)]):
+            trace = Trace(name="tiny")
+            for kind, line in accesses:
+                trace.append(kind, 0x40000000 + line * 32)
+            for write in ("write-through", "write-back"):
+                config = build_config(l1_write=write)
+                assert_all_equal(run_all_paths(config, trace, [0, 5]))
+
+    def test_empty_seed_batch(self, small_kernel_trace):
+        config = build_config()
+        for results in run_all_paths(config, small_kernel_trace, []).values():
+            assert results == []
 
 
 class TestCampaignLevelEquivalence:

@@ -6,13 +6,17 @@ from repro.cache.fastsim import CompiledTrace, FastHierarchySimulator
 from repro.engine import (
     Engine,
     FastEngine,
+    JitEngine,
+    JitUnavailable,
     ReferenceEngine,
     available_engines,
     engine_capabilities,
     get_engine,
     register_engine,
+    registered_engines,
     unregister_engine,
 )
+from repro.engine.jit import numba_missing_reason
 
 
 class TestRegistryLookup:
@@ -33,8 +37,21 @@ class TestRegistryLookup:
         with pytest.raises(ValueError, match="unknown engine 'warp'") as excinfo:
             get_engine("warp")
         message = str(excinfo.value)
-        for name in available_engines():
+        for name in registered_engines():
             assert name in message
+
+    def test_registered_engines_includes_optional_tiers(self):
+        """Optional-dependency engines are always *registered*..."""
+        assert "jit" in registered_engines()
+        assert list(registered_engines()) == sorted(registered_engines())
+
+    def test_available_engines_filters_unusable_tiers(self):
+        """...but only *available* when their dependency imports."""
+        if numba_missing_reason() is None:
+            assert "jit" in available_engines()
+        else:
+            assert "jit" not in available_engines()
+        assert set(available_engines()) <= set(registered_engines())
 
 
 class TestRegistration:
@@ -95,11 +112,49 @@ class TestCapabilities:
 
     def test_capability_matrix_describes_every_engine(self):
         matrix = engine_capabilities()
-        assert set(matrix) == set(available_engines())
+        assert set(matrix) == set(registered_engines())
         for name, capabilities in matrix.items():
             assert capabilities["name"] == name
-            for flag in ("supports_batch", "bit_exact", "requires_pickle"):
+            for flag in ("supports_batch", "bit_exact", "requires_pickle",
+                         "available"):
                 assert isinstance(capabilities[flag], bool)
+            availability = capabilities["availability"]
+            assert availability is None or isinstance(availability, str)
+            assert capabilities["available"] == (availability is None)
+
+    def test_always_available_engines_report_no_reason(self):
+        for name in ("fast", "reference", "numpy"):
+            engine = get_engine(name)
+            assert engine.availability() is None
+            assert engine.available
+
+
+class TestJitAvailability:
+    def test_jit_engine_is_resolvable_even_without_numba(self):
+        engine = get_engine("jit")
+        assert isinstance(engine, JitEngine)
+        assert engine.supports_batch and engine.bit_exact
+
+    @pytest.mark.skipif(
+        numba_missing_reason() is None, reason="numba installed"
+    )
+    def test_jit_simulator_fails_with_install_hint(
+        self, small_kernel_trace, tiny_hierarchy_config
+    ):
+        compiled = CompiledTrace(
+            small_kernel_trace, line_size=tiny_hierarchy_config.il1.line_size
+        )
+        engine = get_engine("jit")
+        assert not engine.available
+        reason = engine.availability()
+        assert "numba" in reason and "jit" in reason
+        with pytest.raises(JitUnavailable, match="numba"):
+            engine.simulator(tiny_hierarchy_config, compiled)
+
+    def test_force_python_tier_is_always_available(self):
+        engine = JitEngine(force_python=True)
+        assert engine.available
+        assert engine.availability() is None
 
 
 class TestSimulatorConstruction:

@@ -102,15 +102,43 @@ class TestPipelineEquality:
                 result, apply_mbpta(list(row), config=config, estimator=estimator)
             )
 
-    def test_bootstrap_intervals_identical(self):
+    @pytest.mark.parametrize(
+        "estimator", ["gumbel-pwm", "gumbel-mle", "exponential-excess"]
+    )
+    def test_bootstrap_intervals_identical(self, estimator):
+        """The vectorized CI projection is bit-identical to the loop for
+        every registered curve family (Gumbel and exponential-tail)."""
         matrix = sample_matrices()["rounded"][:4]
         config = MbptaConfig(bootstrap=30)
-        batch = apply_mbpta_batch(matrix, config=config)
+        batch = apply_mbpta_batch(matrix, config=config, estimator=estimator)
         for row, result in zip(matrix, batch):
-            scalar = apply_mbpta(list(row), config=config)
+            scalar = apply_mbpta(list(row), config=config, estimator=estimator)
             assert result.pwcet_ci == scalar.pwcet_ci
             for low, high in result.pwcet_ci.values():
                 assert low <= high
+
+    def test_batch_pwcet_projection_matches_scalar_curves(self):
+        """_pwcet_values_batch == the per-curve scalar loop, bitwise,
+        including degenerate (near-constant) resamples."""
+        from repro.pwcet.protocol import _pwcet_values_batch
+        from repro.pwcet.registry import get_estimator
+
+        matrix = np.vstack(
+            [
+                sample_matrices()["rounded"][:3],
+                # Near-constant campaign: exercises the degenerate-tail
+                # fallback fits (pinned threshold, epsilon scale).
+                np.full((1, sample_matrices()["rounded"].shape[1]), 500.0)
+                + np.arange(sample_matrices()["rounded"].shape[1]) * 1e-9,
+            ]
+        )
+        config = MbptaConfig()
+        for name in ("gumbel-pwm", "exponential-excess"):
+            estimates = get_estimator(name).fit_batch(matrix, config)
+            for probability in (1e-12, 1e-15, 0.5):
+                batch = _pwcet_values_batch(estimates, probability)
+                loop = [e.curve.pwcet(probability) for e in estimates]
+                assert batch.tolist() == loop
 
     def test_bootstrap_deterministic(self):
         matrix = sample_matrices()["rounded"][:2]
