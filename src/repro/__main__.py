@@ -26,7 +26,13 @@ Usage::
     python -m repro study run fig5 --shard-size 8 --resume   # finish a killed run
     python -m repro worker                      # attach an external worker
     python -m repro exec status                 # queue + worker telemetry
+    python -m repro exec status --format json   # machine-readable snapshot
     python -m repro study clean --analyses-only --older-than 7d
+    python -m repro study clean --older-than 1h --dry-run    # plan, don't delete
+
+    python -m repro serve --port 8765           # pWCET analysis server
+    python -m repro submit fig5 --runs 100      # submit to a running server
+    python -m repro submit fig5 --format json --url http://127.0.0.1:8765
 
 Each experiment id corresponds to one table/figure of the paper (see
 DESIGN.md's per-experiment index); both surfaces resolve ids through the
@@ -59,12 +65,22 @@ seed-range shards, persisted shard by shard, and reassembled bit-exactly —
 a killed run loses at most its in-flight shards and ``--resume`` executes
 only the missing ones.  ``python -m repro worker`` attaches an external
 worker process to the same queue, and ``python -m repro exec status``
-shows queue occupancy plus per-worker heartbeat telemetry.
+shows queue occupancy plus per-worker heartbeat telemetry (``--format
+json`` emits the same snapshot machine-readably).
+
+``serve`` runs the analysis server (:mod:`repro.service`): clients submit
+scenario specs over HTTP, jobs execute through the same store + work-queue
+pipeline (external ``worker`` processes can drain them), and overlapping
+submissions deduplicate by spec hash.  ``submit`` plans an experiment
+locally and sends it to a running server, waiting for (and rendering) the
+result — repeated submissions are answered from the store with zero
+simulations and zero EVT fits.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from dataclasses import replace
@@ -221,6 +237,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(analyses; plus shard/queue leftovers unless --analyses-only) older "
         "than AGE (seconds, or a number with an s/m/h/d suffix, e.g. 7d)",
     )
+    study_clean.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="list what would be removed without deleting anything "
+        "(the same decision logic the server's GC service runs)",
+    )
 
     worker = subparsers.add_parser(
         "worker",
@@ -260,6 +282,105 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="show queue occupancy and worker heartbeat telemetry"
     )
     _add_store_argument(exec_status)
+    exec_status.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="text table (default) or the JSON snapshot the analysis "
+        "server's /v1/status endpoint embeds",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="run the pWCET analysis server (repro.service)"
+    )
+    _add_store_argument(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="listen port (0 = pick an ephemeral port and print it)",
+    )
+    serve.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes per campaign for cold jobs (1 = the job "
+        "thread drains the queue inline; external workers can always join)",
+    )
+    serve.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        dest="shard_size",
+        help="shard size for queued campaigns (default: the planner's "
+        "per-campaign heuristic)",
+    )
+    serve.add_argument(
+        "--concurrency",
+        type=int,
+        default=2,
+        help="jobs executed concurrently (each on its own thread)",
+    )
+    serve.add_argument(
+        "--gc-interval",
+        type=float,
+        default=300.0,
+        dest="gc_interval",
+        help="seconds between background store sweeps (0 disables the loop)",
+    )
+    serve.add_argument(
+        "--gc-age",
+        default=None,
+        dest="gc_age",
+        metavar="AGE",
+        help="minimum age before a derived entry is swept (seconds or an "
+        "s/m/h/d suffix; default 1h)",
+    )
+
+    submit = subparsers.add_parser(
+        "submit", help="submit an experiment to a running analysis server"
+    )
+    submit.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    _add_campaign_arguments(submit, include_format=False)
+    submit.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="per-scenario text summary (default) or the raw job payload",
+    )
+    submit.add_argument(
+        "--url",
+        default="http://127.0.0.1:8765",
+        help="server base URL (default: %(default)s)",
+    )
+    submit.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        dest="shard_size",
+        help="override the server's shard size for this job's campaigns",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="seconds to wait for the job before giving up",
+    )
+    submit.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        help="seconds between job status polls while waiting",
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id and return without waiting for the result",
+    )
 
     pwcet = subparsers.add_parser(
         "pwcet", help="pWCET estimator registry and cross-estimator views"
@@ -488,6 +609,116 @@ def _validated_settings(
     return settings
 
 
+def _serve_command(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """The ``python -m repro serve`` surface (repro.service)."""
+    from .service.api.server import ReproServer
+
+    if args.port < 0:
+        parser.error(f"--port must be >= 0, got {args.port}")
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0 (0 = one worker per CPU), got {args.jobs}")
+    if args.shard_size is not None and args.shard_size < 1:
+        parser.error(f"--shard-size must be >= 1, got {args.shard_size}")
+    if args.concurrency < 1:
+        parser.error(f"--concurrency must be >= 1, got {args.concurrency}")
+    gc_age = 3600.0
+    if args.gc_age is not None:
+        try:
+            gc_age = _parse_age(args.gc_age)
+        except ValueError as error:
+            parser.error(str(error))
+    server = ReproServer(
+        ResultStore(args.store),
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        # None = "let the planner pick": the server's 0 sentinel routes every
+        # cold campaign through the queue with the heuristic shard size.
+        shard_size=0 if args.shard_size is None else args.shard_size,
+        concurrency=args.concurrency,
+        gc_interval=args.gc_interval,
+        gc_age=gc_age,
+    )
+    server.run()
+    return 0
+
+
+def _render_submitted_job(payload: Dict[str, object]) -> None:
+    """Human-readable rendering of one finished job payload."""
+    print(f"job {payload['job_id']}: {payload['state']}")
+    for entry in payload.get("results", ()):  # type: ignore[union-attr]
+        line = (
+            f"{entry['label']}: runs={entry['runs']} mean={entry['mean']:.1f} "
+            f"hwm={entry['high_water_mark']} source={entry['source']}"
+        )
+        analysis = entry.get("analysis")
+        if analysis:
+            pwcet = ", ".join(
+                f"pWCET@{probability}={value:.0f}"
+                for probability, value in sorted(
+                    analysis["pwcet"].items(),
+                    key=lambda item: float(item[0]),
+                    reverse=True,
+                )
+            )
+            line += f"  {pwcet}"
+        print(line)
+    report = payload.get("report")
+    if report:
+        print(f"-- {report['summary']}")  # type: ignore[index]
+    if payload["state"] == "failed":
+        print(f"error: {payload.get('error', 'job failed')}", file=sys.stderr)
+
+
+def _submit_command(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """The ``python -m repro submit`` surface: plan locally, execute remotely."""
+    from .service.client import ServiceClient, ServiceError
+
+    targets = _resolve_targets(args.experiment)
+    settings = _validated_settings(parser, args, targets)
+    if settings is None:
+        return 2
+    specs = []
+    for identifier in targets:
+        specs.extend(
+            scenario.spec_dict() for scenario in get_study(identifier).plan(settings)
+        )
+    payload: Dict[str, object] = {
+        "specs": specs,
+        # The studies' analysis grid (secondary + primary cutoff), so the
+        # server computes — and caches — the exact analyses `study run`
+        # would for the same specs.
+        "cutoffs": [settings.secondary_cutoff, settings.cutoff],
+    }
+    if settings.estimator:
+        payload["estimator"] = settings.estimator
+    if args.engine is not None:
+        payload["engine"] = settings.engine
+    if args.jobs is not None:
+        payload["jobs"] = settings.jobs
+    if settings.shard_size is not None:
+        payload["shard_size"] = settings.shard_size
+    client = ServiceClient(args.url)
+    try:
+        submitted = client.submit(payload)
+        job_id = str(submitted["job_id"])
+        if args.no_wait:
+            print(
+                f"job {job_id}: {submitted['state']} "
+                f"({submitted['scenarios']} scenario(s))"
+            )
+            return 0
+        finished = client.wait(job_id, timeout=args.timeout, poll=args.poll)
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.output_format == "json":
+        print(json.dumps(finished, indent=2, sort_keys=True))
+    else:
+        _render_submitted_job(finished)
+    return 1 if finished["state"] == "failed" else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -540,10 +771,16 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "exec":
         # exec_command == "status" (the only subcommand today)
-        from .exec.status import format_exec_status
+        from .exec.status import render_exec_status
 
-        print(format_exec_status(ResultStore(args.store)))
+        print(render_exec_status(ResultStore(args.store), args.output_format))
         return 0
+
+    if args.command == "serve":
+        return _serve_command(parser, args)
+
+    if args.command == "submit":
+        return _submit_command(parser, args)
 
     # command == "study"
     if args.study_command == "list":
@@ -560,18 +797,48 @@ def main(argv: list[str] | None = None) -> int:
                 age = _parse_age(args.older_than)
             except ValueError as error:
                 parser.error(str(error))
-            removed = store.sweep(age, analyses_only=args.analyses_only)
             what = "analysis entries" if args.analyses_only else "derived entries"
-            print(
-                f"swept {removed} {what} older than {args.older_than} "
-                f"from {args.store}"
-            )
+            if args.dry_run:
+                candidates = store.sweep_candidates(
+                    age, analyses_only=args.analyses_only
+                )
+                for path in candidates:
+                    print(path.relative_to(store.root))
+                print(
+                    f"dry run: would sweep {len(candidates)} {what} older "
+                    f"than {args.older_than} from {args.store}"
+                )
+            else:
+                removed = store.sweep(age, analyses_only=args.analyses_only)
+                print(
+                    f"swept {removed} {what} older than {args.older_than} "
+                    f"from {args.store}"
+                )
         elif args.analyses_only:
-            removed = store.sweep(0.0, analyses_only=True)
-            print(f"removed {removed} analysis entries from {args.store}")
+            if args.dry_run:
+                candidates = store.sweep_candidates(0.0, analyses_only=True)
+                for path in candidates:
+                    print(path.relative_to(store.root))
+                print(
+                    f"dry run: would remove {len(candidates)} analysis "
+                    f"entries from {args.store}"
+                )
+            else:
+                removed = store.sweep(0.0, analyses_only=True)
+                print(f"removed {removed} analysis entries from {args.store}")
         else:
-            removed = store.clear()
-            print(f"removed {removed} stored result(s) from {args.store}")
+            if args.dry_run:
+                entries, bookkeeping = store.clear_candidates()
+                for path in entries + bookkeeping:
+                    print(path.relative_to(store.root))
+                print(
+                    f"dry run: would remove {len(entries)} stored result(s) "
+                    f"(plus {len(bookkeeping)} bookkeeping file(s)) from "
+                    f"{args.store}"
+                )
+            else:
+                removed = store.clear()
+                print(f"removed {removed} stored result(s) from {args.store}")
         return 0
 
     store = ResultStore(args.store)

@@ -42,7 +42,7 @@ from .pool import (
     run_campaign_parallel,
     run_layout_campaign_parallel,
 )
-from .status import format_exec_status
+from .status import exec_status_snapshot, format_exec_status, render_exec_status
 
 __all__ = [
     "DEFAULT_LEASE_TTL",
@@ -57,8 +57,10 @@ __all__ = [
     "WorkerStats",
     "WorkerTelemetry",
     "default_owner_id",
+    "exec_status_snapshot",
     "execute_scenario_sharded",
     "format_exec_status",
+    "render_exec_status",
     "partition_chunks",
     "plan_shards",
     "read_heartbeats",

@@ -6,19 +6,26 @@ queue, published shard entries from the store, and per-worker
 heartbeat/progress telemetry — so an operator can answer "is this campaign
 making progress, and who is working on it?" without attaching to any
 process.
+
+The machine-readable form, :func:`exec_status_snapshot`, is the single
+source of both renderings: ``exec status --format json`` dumps it verbatim
+and the analysis server's ``GET /v1/status`` handler embeds it unchanged
+(:mod:`repro.service.api.server`), so the CLI and the service never
+disagree about what the queue looks like.
 """
 
 from __future__ import annotations
 
+import json
 import time
 from typing import Dict, List
 
 from ..analysis.report import format_table
 from ..study.store import ResultStore
 from .queue import FileQueue
-from .telemetry import read_heartbeats
+from .telemetry import WorkerHeartbeat, read_heartbeats
 
-__all__ = ["format_exec_status"]
+__all__ = ["exec_status_snapshot", "format_exec_status"]
 
 
 def _spec_of(stem: str) -> str:
@@ -26,8 +33,20 @@ def _spec_of(stem: str) -> str:
     return stem.partition(".")[0]
 
 
-def format_exec_status(store: ResultStore, now: float | None = None) -> str:
-    """One human-readable status report for the store's shard queue."""
+def _worker_state(beat: WorkerHeartbeat) -> str:
+    if beat.finished:
+        return "finished"
+    return "alive" if beat.alive() else "dead"
+
+
+def exec_status_snapshot(store: ResultStore, now: float | None = None) -> Dict[str, object]:
+    """The store's shard-queue state as plain data.
+
+    One ``specs`` entry per spec hash with pending/leased/published counts,
+    one ``workers`` entry per recorded heartbeat (including the engine the
+    worker last claimed for and that engine's availability on the worker's
+    interpreter).  Totals are included so dashboards do not re-aggregate.
+    """
     now = time.time() if now is None else now
     queue = FileQueue(store.queue_root)
 
@@ -47,8 +66,44 @@ def format_exec_status(store: ResultStore, now: float | None = None) -> str:
     for spec_hash, _key in store.shard_keys():
         bucket(spec_hash)["published"] += 1
 
-    lines: List[str] = [f"shard queue: {queue.root}"]
-    if per_spec:
+    workers: List[Dict[str, object]] = []
+    for beat in read_heartbeats(queue):
+        workers.append(
+            {
+                "owner": beat.owner,
+                "host": beat.host,
+                "pid": beat.pid,
+                "state": _worker_state(beat),
+                "engine": beat.engine,
+                "engine_availability": beat.engine_availability,
+                "shards_claimed": beat.shards_claimed,
+                "shards_done": beat.shards_done,
+                "runs_done": beat.runs_done,
+                "runs_per_second": beat.runs_per_second,
+                "heartbeat_age_seconds": beat.age(now),
+            }
+        )
+
+    return {
+        "queue_root": str(queue.root),
+        "specs": {spec_hash: dict(counts) for spec_hash, counts in sorted(per_spec.items())},
+        "totals": {
+            "pending": sum(c["pending"] for c in per_spec.values()),
+            "leased": sum(c["leased"] for c in per_spec.values()),
+            "published": sum(c["published"] for c in per_spec.values()),
+            "workers": len(workers),
+        },
+        "workers": workers,
+    }
+
+
+def format_exec_status(store: ResultStore, now: float | None = None) -> str:
+    """One human-readable status report for the store's shard queue."""
+    snapshot = exec_status_snapshot(store, now=now)
+
+    lines: List[str] = [f"shard queue: {snapshot['queue_root']}"]
+    specs: Dict[str, Dict[str, int]] = snapshot["specs"]  # type: ignore[assignment]
+    if specs:
         rows = [
             (
                 spec_hash[:12],
@@ -56,7 +111,7 @@ def format_exec_status(store: ResultStore, now: float | None = None) -> str:
                 counts["leased"],
                 counts["published"],
             )
-            for spec_hash, counts in sorted(per_spec.items())
+            for spec_hash, counts in specs.items()
         ]
         lines.append(
             format_table(["spec", "pending", "leased", "published"], rows)
@@ -64,35 +119,52 @@ def format_exec_status(store: ResultStore, now: float | None = None) -> str:
     else:
         lines.append("no pending shards and no published shard entries")
 
-    beats = read_heartbeats(queue)
-    if beats:
+    workers: List[Dict[str, object]] = snapshot["workers"]  # type: ignore[assignment]
+    if workers:
         rows = []
-        for beat in beats:
-            if beat.finished:
-                state = "finished"
-            elif beat.alive():
-                state = "alive"
-            else:
-                state = "dead"
+        for worker in workers:
+            engine = str(worker["engine"] or "-")
+            if worker["engine_availability"] is not None:
+                engine += " (unavailable)"
             rows.append(
                 (
-                    beat.owner,
-                    beat.pid,
-                    state,
-                    beat.shards_claimed,
-                    beat.shards_done,
-                    beat.runs_done,
-                    f"{beat.runs_per_second:.1f}",
-                    f"{beat.age(now):.1f}s ago",
+                    worker["owner"],
+                    worker["pid"],
+                    worker["state"],
+                    engine,
+                    worker["shards_claimed"],
+                    worker["shards_done"],
+                    worker["runs_done"],
+                    f"{worker['runs_per_second']:.1f}",
+                    f"{worker['heartbeat_age_seconds']:.1f}s ago",
                 )
             )
         lines.append("")
         lines.append(
             format_table(
-                ["worker", "pid", "state", "claimed", "done", "runs", "runs/s", "heartbeat"],
+                [
+                    "worker",
+                    "pid",
+                    "state",
+                    "engine",
+                    "claimed",
+                    "done",
+                    "runs",
+                    "runs/s",
+                    "heartbeat",
+                ],
                 rows,
             )
         )
     else:
         lines.append("no worker heartbeats recorded")
     return "\n".join(lines)
+
+
+def render_exec_status(store: ResultStore, fmt: str = "text") -> str:
+    """The status report in ``text`` or machine-readable ``json`` form."""
+    if fmt == "json":
+        return json.dumps(exec_status_snapshot(store), indent=2, sort_keys=True)
+    if fmt == "text":
+        return format_exec_status(store)
+    raise ValueError(f"unknown format {fmt!r}; expected 'text' or 'json'")

@@ -28,12 +28,28 @@ __all__ = [
     "HEARTBEAT_INTERVAL",
     "WorkerHeartbeat",
     "WorkerTelemetry",
+    "engine_availability",
     "read_heartbeats",
 ]
 
 #: Minimum seconds between two heartbeat writes of one worker (state
 #: transitions always write).
 HEARTBEAT_INTERVAL = 1.0
+
+
+def engine_availability(name: str) -> Optional[str]:
+    """Why the named engine cannot run on this interpreter, or ``None``.
+
+    Unknown names (a task produced by a build with extra registered
+    engines) report the registry error instead of raising — telemetry must
+    never take a worker down.
+    """
+    from ..engine import get_engine
+
+    try:
+        return get_engine(name).availability()
+    except ValueError as error:
+        return str(error)
 
 
 @dataclass
@@ -49,6 +65,13 @@ class WorkerHeartbeat:
     shards_done: int = 0
     runs_done: int = 0
     finished: bool = False
+    #: Engine named by the worker's most recently claimed task, plus that
+    #: engine's availability on the worker's interpreter (``None`` =
+    #: available) — so ``exec status`` and ``/v1/status`` can tell a worker
+    #: that is about to fail on a missing optional dependency from one that
+    #: is merely slow.
+    engine: str = ""
+    engine_availability: Optional[str] = None
 
     @property
     def runs_per_second(self) -> float:
@@ -84,6 +107,8 @@ class WorkerHeartbeat:
             "shards_done": self.shards_done,
             "runs_done": self.runs_done,
             "finished": self.finished,
+            "engine": self.engine,
+            "engine_availability": self.engine_availability,
         }
 
 
@@ -111,8 +136,11 @@ class WorkerTelemetry:
     def path(self):
         return self.queue.worker_root / f"{self.owner}.json"
 
-    def claimed(self) -> None:
+    def claimed(self, engine: str = "") -> None:
         self.heartbeat.shards_claimed += 1
+        if engine and engine != self.heartbeat.engine:
+            self.heartbeat.engine = engine
+            self.heartbeat.engine_availability = engine_availability(engine)
         self._write(force=True)
 
     def published(self, runs: int) -> None:
@@ -163,6 +191,12 @@ def read_heartbeats(queue: FileQueue) -> List[WorkerHeartbeat]:
                     shards_done=int(payload.get("shards_done", 0)),
                     runs_done=int(payload.get("runs_done", 0)),
                     finished=bool(payload.get("finished", False)),
+                    engine=str(payload.get("engine", "")),
+                    engine_availability=(
+                        None
+                        if payload.get("engine_availability") is None
+                        else str(payload["engine_availability"])
+                    ),
                 )
             )
         except (OSError, ValueError, KeyError, TypeError):

@@ -202,7 +202,7 @@ def run_worker(
                     continue
                 claimed = True
                 stats.shards_claimed += 1
-                telemetry.claimed()
+                telemetry.claimed(engine=str(task["engine"]))
                 if throttle > 0:
                     time.sleep(throttle)
                 payload = runner.execute(task)

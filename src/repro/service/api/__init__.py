@@ -1,0 +1,7 @@
+"""HTTP front end of the analysis service (see :mod:`repro.service`)."""
+
+from __future__ import annotations
+
+from .server import DEFAULT_HOST, DEFAULT_PORT, ReproServer
+
+__all__ = ["DEFAULT_HOST", "DEFAULT_PORT", "ReproServer"]

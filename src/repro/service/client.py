@@ -1,0 +1,147 @@
+"""A thin stdlib client for the analysis server.
+
+``ServiceClient`` wraps :mod:`urllib.request` — no dependencies, usable
+from tests, scripts and the ``python -m repro submit`` CLI.  Error
+responses (the server always answers JSON) raise :class:`ServiceError`
+carrying the HTTP status and the server's message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, List, Mapping, Optional
+
+__all__ = ["ServiceClient", "ServiceError", "DEFAULT_URL"]
+
+DEFAULT_URL = "http://127.0.0.1:8765"
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error answer from the server (or a transport failure)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}" if status else message)
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talks to one ``repro serve`` instance."""
+
+    def __init__(self, url: str = DEFAULT_URL, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------ transport
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping[str, object]] = None,
+    ) -> Dict[str, object]:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            detail = error.read().decode("utf-8", "replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            raise ServiceError(error.code, str(detail)) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(0, f"cannot reach {self.url}: {error.reason}") from None
+
+    # ------------------------------------------------------------ endpoints
+
+    def submit(self, payload: Mapping[str, object]) -> Dict[str, object]:
+        """``POST /v1/jobs`` — returns the 202 body with the job id."""
+        return self._request("POST", "/v1/jobs", payload)
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return self._request("GET", "/v1/jobs")["jobs"]  # type: ignore[return-value]
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll: float = 0.2
+    ) -> Dict[str, object]:
+        """Poll until the job reaches a terminal state; returns its payload."""
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.job(job_id)
+            if payload["state"] in ("done", "failed"):
+                return payload
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    0, f"job {job_id} still {payload['state']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def status(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/status")
+
+    def engines(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/engines")["engines"]  # type: ignore[return-value]
+
+    def estimators(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/estimators")["estimators"]  # type: ignore[return-value]
+
+    def gc(
+        self,
+        older_than: Optional[float] = None,
+        analyses_only: Optional[bool] = None,
+        dry_run: bool = False,
+    ) -> Dict[str, object]:
+        payload: Dict[str, object] = {"dry_run": dry_run}
+        if older_than is not None:
+            payload["older_than"] = older_than
+        if analyses_only is not None:
+            payload["analyses_only"] = analyses_only
+        return self._request("POST", "/v1/gc", payload)
+
+    def shutdown(self) -> Dict[str, object]:
+        return self._request("POST", "/v1/shutdown", {})
+
+    def events(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Iterator[Dict[str, object]]:
+        """Iterate the job's SSE stream as parsed ``data:`` payloads.
+
+        Yields until the server closes the stream (after the job's terminal
+        event).  Keepalive comments are skipped.
+        """
+        request = urllib.request.Request(
+            f"{self.url}/v1/jobs/{job_id}/events",
+            headers={"Accept": "text/event-stream"},
+        )
+        effective = self.timeout if timeout is None else timeout
+        try:
+            with urllib.request.urlopen(request, timeout=effective) as response:
+                data_lines: List[str] = []
+                for raw in response:
+                    line = raw.decode("utf-8").rstrip("\r\n")
+                    if not line:  # blank line = end of one event
+                        if data_lines:
+                            yield json.loads("\n".join(data_lines))
+                            data_lines = []
+                        continue
+                    if line.startswith("data:"):
+                        data_lines.append(line[5:].lstrip())
+        except urllib.error.HTTPError as error:
+            raise ServiceError(error.code, error.reason) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(0, f"cannot reach {self.url}: {error.reason}") from None

@@ -88,10 +88,12 @@ def execute_scenarios(
     pipeline (:mod:`repro.exec`): each campaign is split into seed-range
     shards executed through the store's file queue and published as
     individual shard entries, so a killed run loses at most its in-flight
-    shards.  Requires a ``store``.  With ``resume=True`` the shard entries
-    a previous (killed) run already published are reused and only the
-    missing shards execute; the reassembled campaign is bit-exact with
-    serial execution either way.
+    shards.  ``0`` selects the queue pipeline with the planner's per-campaign
+    heuristic size (used by the analysis server, whose jobs always go
+    through the queue so external workers can join).  Requires a ``store``.
+    With ``resume=True`` the shard entries a previous (killed) run already
+    published are reused and only the missing shards execute; the
+    reassembled campaign is bit-exact with serial execution either way.
     """
     if shard_size is not None and store is None:
         raise ValueError("sharded execution (shard_size) requires a result store")
@@ -230,7 +232,9 @@ def _run_sharded(
         scenario,
         store,
         jobs=scenario.jobs,
-        shard_size=shard_size,
+        # 0 = "queue pipeline, heuristic size": the sharded executor resolves
+        # None through the planner's per-campaign heuristic.
+        shard_size=shard_size or None,
         resume=resume,
     )
     report.shards_planned += shard_report.planned

@@ -256,6 +256,44 @@ class ResultStore:
 
     # ------------------------------------------------------------------ GC
 
+    def _derived_roots(self, analyses_only: bool) -> List[Path]:
+        """The directories the age-based sweep may touch."""
+        roots = [self.analysis_root]
+        if not analyses_only:
+            roots.append(self.shard_root)
+            for name in ("tasks", "leases", "workers"):
+                roots.append(self.queue_root / name)
+        return roots
+
+    def sweep_candidates(
+        self,
+        older_than: float,
+        analyses_only: bool = False,
+        now: Optional[float] = None,
+    ) -> List[Path]:
+        """The files an age-based sweep would delete, sorted, without
+        deleting anything.
+
+        This is the single place sweep decisions are made: :meth:`sweep`
+        deletes exactly this list, ``study clean --dry-run`` prints it, and
+        the analysis server's background GC service logs it — so what the
+        GC *would* do is testable without side effects.
+        """
+        cutoff = (time.time() if now is None else now) - max(0.0, older_than)
+        candidates: List[Path] = []
+        for root in self._derived_roots(analyses_only):
+            if not root.is_dir():
+                continue
+            for path in root.iterdir():
+                if not path.is_file():
+                    continue
+                try:
+                    if path.stat().st_mtime <= cutoff:
+                        candidates.append(path)
+                except OSError:
+                    continue  # concurrently removed — fine
+        return sorted(candidates)
+
     def sweep(self, older_than: float, analyses_only: bool = False) -> int:
         """Garbage-collect derived entries older than ``older_than`` seconds.
 
@@ -266,51 +304,56 @@ class ResultStore:
         entries themselves are never touched — they are the results.
         Returns how many files were removed.
         """
-        cutoff = time.time() - max(0.0, older_than)
-        roots = [self.analysis_root]
-        if not analyses_only:
-            roots.append(self.shard_root)
-            for name in ("tasks", "leases", "workers"):
-                roots.append(self.queue_root / name)
         removed = 0
-        for root in roots:
-            if not root.is_dir():
-                continue
-            for path in root.iterdir():
-                if not path.is_file():
-                    continue
-                try:
-                    if path.stat().st_mtime <= cutoff:
-                        path.unlink()
-                        removed += 1
-                except OSError:
-                    continue  # concurrently removed — fine
+        for path in self.sweep_candidates(older_than, analyses_only=analyses_only):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue  # concurrently removed — fine
         return removed
+
+    def clear_candidates(self) -> Tuple[List[Path], List[Path]]:
+        """What :meth:`clear` would delete: ``(entries, bookkeeping)``.
+
+        ``entries`` are the counted JSON entries (campaign results, analyses,
+        shard entries); ``bookkeeping`` are temp files and queue files that
+        are removed but not counted.  Both sorted; nothing is deleted.
+        """
+        entries: List[Path] = []
+        bookkeeping: List[Path] = []
+        if not self.root.is_dir():
+            return entries, bookkeeping
+        for directory in (self.root, self.analysis_root, self.shard_root):
+            if not directory.is_dir():
+                continue
+            entries.extend(directory.glob("*.json"))
+            bookkeeping.extend(directory.glob("*.json.tmp"))
+            bookkeeping.extend(directory.glob("*.tmp"))
+        if self.queue_root.is_dir():
+            for name in ("tasks", "leases", "workers"):
+                subdir = self.queue_root / name
+                if subdir.is_dir():
+                    bookkeeping.extend(
+                        path for path in subdir.iterdir() if path.is_file()
+                    )
+        return sorted(set(entries)), sorted(set(bookkeeping))
 
     def clear(self) -> int:
         """Delete every stored result, analysis, shard entry and queue file;
         returns how many entries were removed (each JSON entry counts as
         one; queue bookkeeping files are removed but not counted)."""
+        entries, bookkeeping = self.clear_candidates()
         removed = 0
-        if not self.root.is_dir():
-            return removed
-        for path in self.root.glob("*.json"):
-            path.unlink()
-            removed += 1
-        for path in self.root.glob("*.json.tmp"):
-            path.unlink()
-        if self.analysis_root.is_dir():
-            for path in self.analysis_root.glob("*.json"):
+        for path in entries:
+            try:
                 path.unlink()
                 removed += 1
-            for path in self.analysis_root.glob("*.json.tmp"):
+            except OSError:
+                continue
+        for path in bookkeeping:
+            try:
                 path.unlink()
-        removed += self.clear_shards()
-        if self.queue_root.is_dir():
-            for name in ("tasks", "leases", "workers"):
-                subdir = self.queue_root / name
-                if subdir.is_dir():
-                    for path in subdir.iterdir():
-                        if path.is_file():
-                            path.unlink()
+            except OSError:
+                continue
         return removed

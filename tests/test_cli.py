@@ -326,3 +326,109 @@ class TestOutputFormats:
         assert estimators == {"exponential-excess"}
         for entry in payload["analysis"].values():
             assert entry["discarded_runs"] == 0.0
+
+
+class TestExecStatusFormats:
+    def _seed_queue(self, tmp_path):
+        from repro.exec import FileQueue, plan_shards, shard_task
+        from repro.study.scenario import HierarchySpec, Scenario, WorkloadSpec
+        from repro.study.store import ResultStore
+
+        scenario = Scenario(
+            workload=WorkloadSpec.synthetic(4 * 1024, 2),
+            hierarchy=HierarchySpec(setup="rm", with_l2=False),
+            runs=8,
+            master_seed=5,
+        )
+        store = ResultStore(tmp_path / "store")
+        queue = FileQueue(store.queue_root)
+        for shard in plan_shards(scenario.spec_hash(), scenario.runs, 4):
+            queue.enqueue(shard_task(scenario, shard, scenario.engine))
+        return scenario, store
+
+    def test_json_format_is_parseable_and_matches_snapshot(
+        self, tmp_path, capsys
+    ):
+        from repro.exec.status import exec_status_snapshot
+
+        scenario, store = self._seed_queue(tmp_path)
+        assert main(
+            ["worker", "--store", str(store.root), "--worker-id", "cli-json"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["exec", "status", "--store", str(store.root), "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        local = exec_status_snapshot(store)
+        assert payload["queue_root"] == local["queue_root"]
+        assert payload["totals"] == local["totals"]
+        assert payload["specs"] == local["specs"]
+        # Worker telemetry carries the engine name + availability (the
+        # heartbeat ages differ between the two calls, so compare fields).
+        [worker] = payload["workers"]
+        assert worker["owner"] == "cli-json"
+        assert worker["engine"] == "fast"
+        assert worker["engine_availability"] is None
+
+    def test_text_format_shows_the_engine_column(self, tmp_path, capsys):
+        scenario, store = self._seed_queue(tmp_path)
+        assert main(
+            ["worker", "--store", str(store.root), "--worker-id", "cli-text"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["exec", "status", "--store", str(store.root)]) == 0
+        out = capsys.readouterr().out
+        assert "engine" in out
+        assert "fast" in out
+
+
+class TestCleanDryRun:
+    def test_dry_run_sweep_lists_without_deleting(self, tmp_path, capsys):
+        from repro.study.store import ResultStore
+
+        store_dir = str(tmp_path / "store")
+        store = ResultStore(store_dir)
+        store.save_analysis("aaa", "cfg", {"v": 1})
+        store.save_shard("bbb", "00000000x000004", {"version": 1})
+        assert main(
+            ["study", "clean", "--older-than", "0s", "--dry-run",
+             "--store", store_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dry run: would sweep 2 derived entries" in out
+        assert "aaa" in out and "bbb" in out
+        assert store.load_analysis("aaa", "cfg") is not None
+        assert store.load_shard("bbb", "00000000x000004") is not None
+
+    def test_dry_run_analyses_only_scopes_the_plan(self, tmp_path, capsys):
+        from repro.study.store import ResultStore
+
+        store_dir = str(tmp_path / "store")
+        store = ResultStore(store_dir)
+        store.save_analysis("aaa", "cfg", {"v": 1})
+        store.save_shard("bbb", "00000000x000004", {"version": 1})
+        assert main(
+            ["study", "clean", "--analyses-only", "--dry-run",
+             "--store", store_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "would remove 1 analysis entries" in out
+        assert "bbb" not in out
+        assert store.load_analysis("aaa", "cfg") is not None
+
+    def test_dry_run_full_clear_counts_like_clear(self, tmp_path, capsys):
+        from repro.study.store import ResultStore
+
+        store_dir = str(tmp_path / "store")
+        store = ResultStore(store_dir)
+        store.save_analysis("aaa", "cfg", {"v": 1})
+        store.save_shard("bbb", "00000000x000004", {"version": 1})
+        assert main(
+            ["study", "clean", "--dry-run", "--store", store_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "would remove 2 stored result(s)" in out
+        # Nothing was deleted by the dry run; the real clear agrees on 2.
+        assert main(["study", "clean", "--store", store_dir]) == 0
+        assert "removed 2 stored result(s)" in capsys.readouterr().out
