@@ -452,7 +452,12 @@ class ReproServer:
         payload = self._json_body(body)
         older_than = payload.get("older_than")
         if older_than is not None:
-            older_than = float(older_than)  # type: ignore[arg-type]
+            try:
+                older_than = float(older_than)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                raise _HttpError(
+                    400, f"older_than must be a number, got {older_than!r}"
+                ) from None
         analyses_only = payload.get("analyses_only")
         if analyses_only is not None:
             analyses_only = bool(analyses_only)

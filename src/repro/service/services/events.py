@@ -202,8 +202,12 @@ class StoreWatcher:
 
     async def run(self, stop: asyncio.Event) -> None:
         """Poll until ``stop`` is set (the server's background task)."""
+        loop = asyncio.get_running_loop()
         while not stop.is_set():
-            self.poll_once()
+            # poll_once scans the store and queue directories on disk; run
+            # it off-loop so a large store never stalls HTTP handling (or
+            # the SSE streams) between polls.
+            await loop.run_in_executor(None, self.poll_once)
             try:
                 await asyncio.wait_for(stop.wait(), timeout=self.interval)
             except asyncio.TimeoutError:

@@ -1,10 +1,15 @@
 """Background garbage collection over the result store.
 
-The server's GC service periodically retires *derived* store entries —
-pWCET analyses (pure caches, rebuilt from the campaign entry on demand)
-and, optionally, leftover shard entries and queue bookkeeping abandoned by
-killed campaigns.  Campaign entries themselves are never swept: they are
-the primary artefacts warm jobs resolve from.
+The server's GC service periodically retires *derived* store entries.
+By default only pWCET analyses are swept — pure caches, rebuilt from the
+campaign entry on demand.  Shard entries and queue bookkeeping are only
+age-filtered by :meth:`~repro.study.store.ResultStore.sweep_candidates`,
+so an unattended loop could collect shards a still-running campaign has
+already published (discarding completed work mid-job); sweeping them is
+therefore an explicit request — ``POST /v1/gc`` with
+``{"analyses_only": false}``, or ``study clean --older-than`` — made when
+the operator knows no campaign is mid-flight.  Campaign entries themselves
+are never swept: they are the primary artefacts warm jobs resolve from.
 
 Sweep decisions are made by :meth:`repro.study.store.ResultStore.sweep_candidates`
 — the same single decision point behind ``python -m repro study clean
@@ -40,7 +45,7 @@ class GcService:
         bus: EventBus,
         interval: float = DEFAULT_GC_INTERVAL,
         older_than: float = DEFAULT_GC_AGE,
-        analyses_only: bool = False,
+        analyses_only: bool = True,
     ) -> None:
         self.store = store
         self.bus = bus
@@ -92,11 +97,13 @@ class GcService:
         if self.interval <= 0:
             await stop.wait()
             return
+        loop = asyncio.get_running_loop()
         while not stop.is_set():
             try:
                 await asyncio.wait_for(stop.wait(), timeout=self.interval)
                 return
             except asyncio.TimeoutError:
                 pass
-            # Sweeps are quick directory scans; run inline on the loop.
-            self.sweep_once()
+            # Directory scan + unlinks: off-loop so a large store never
+            # stalls HTTP handling.
+            await loop.run_in_executor(None, self.sweep_once)

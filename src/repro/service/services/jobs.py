@@ -103,12 +103,20 @@ def _parse_options(payload: Mapping[str, object]) -> JobOptions:
             raise BadRequest("cutoffs must be exceedance probabilities in (0, 1)")
     jobs: Optional[int] = None
     if payload.get("jobs") is not None:
-        jobs = int(payload["jobs"])  # type: ignore[arg-type]
+        try:
+            jobs = int(payload["jobs"])  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise BadRequest(f"jobs must be an integer, got {payload['jobs']!r}") from None
         if jobs < 0:
             raise BadRequest(f"jobs must be >= 0 (0 = one worker per CPU), got {jobs}")
     shard_size: Optional[int] = None
     if payload.get("shard_size") is not None:
-        shard_size = int(payload["shard_size"])  # type: ignore[arg-type]
+        try:
+            shard_size = int(payload["shard_size"])  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise BadRequest(
+                f"shard_size must be an integer, got {payload['shard_size']!r}"
+            ) from None
         if shard_size < 1:
             raise BadRequest(f"shard_size must be >= 1, got {shard_size}")
     return JobOptions(
@@ -261,7 +269,9 @@ class JobManager:
         self.bus = bus
         #: Per-campaign worker processes for cold scenarios (1 = the job
         #: thread drains the queue inline; external workers may always join).
-        self.jobs = jobs
+        #: Applied to every scenario a request does not override with its
+        #: own ``jobs``.
+        self.default_jobs = jobs
         #: 0 = queue pipeline with the planner's heuristic shard size.
         self.shard_size = shard_size
         self._jobs: Dict[str, Job] = {}
@@ -278,6 +288,13 @@ class JobManager:
         if self._closed:
             raise RuntimeError("server is shutting down")
         scenarios, options = parse_job_request(payload)
+        if options.jobs is None and self.default_jobs != 1:
+            # The server-wide ``--jobs`` default; ``jobs`` is excluded from
+            # the spec hash, so stamping it never perturbs dedupe or store
+            # keys (0 = one worker per CPU).
+            scenarios = [
+                replace(scenario, jobs=self.default_jobs) for scenario in scenarios
+            ]
         job = Job(job_id=uuid.uuid4().hex[:12], scenarios=scenarios, options=options)
         with self._lock:
             self._jobs[job.job_id] = job

@@ -39,7 +39,7 @@ from repro.service.api.server import ReproServer
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.services.events import EventBus, GLOBAL_CHANNEL
 from repro.service.services.gc import GcService
-from repro.service.services.jobs import BadRequest, parse_job_request
+from repro.service.services.jobs import BadRequest, JobManager, parse_job_request
 from repro.study import get_study
 from repro.study.scenario import HierarchySpec, Scenario, WorkloadSpec
 from repro.study.store import ResultStore
@@ -183,7 +183,10 @@ class TestJobRequestParsing:
             {"cutoffs": [2.0]},
             {"cutoffs": ["x"]},
             {"shard_size": 0},
+            {"shard_size": "many"},
             {"jobs": -1},
+            {"jobs": "abc"},
+            {"jobs": [2]},
             {"engine": "no-such-engine"},
         ],
     )
@@ -309,6 +312,31 @@ class TestJobLifecycle:
         assert "available" in engines["fast"]
         estimators = client.estimators()
         assert "gumbel-pwm" in estimators
+
+    def test_jobs_listing_summarises_every_job(self, tmp_path, start_server):
+        _, client = start_server(ResultStore(tmp_path / "store"))
+        assert client.jobs() == []
+        submitted = client.submit({"spec": _spec(_scenario(runs=8))})
+        client.wait(submitted["job_id"], timeout=60)
+        listing = client.jobs()
+        assert [entry["job_id"] for entry in listing] == [submitted["job_id"]]
+        assert listing[0]["state"] == "done"
+        assert listing[0]["scenarios"] == 1
+        assert "results" not in listing[0]  # summaries keep the listing small
+
+    def test_manager_jobs_default_applies_unless_overridden(
+        self, tmp_path, monkeypatch
+    ):
+        """The `repro serve --jobs` default reaches the scenarios."""
+        monkeypatch.setattr(JobManager, "_execute", lambda self, job: None)
+        manager = JobManager(ResultStore(tmp_path / "store"), EventBus(), jobs=3)
+        try:
+            defaulted = manager.submit({"spec": _spec(_scenario())})
+            assert [s.jobs for s in defaulted.scenarios] == [3]
+            overridden = manager.submit({"spec": _spec(_scenario()), "jobs": 2})
+            assert [s.jobs for s in overridden.scenarios] == [2]
+        finally:
+            manager.shutdown()
 
     def test_sse_stream_replays_and_terminates(self, tmp_path, start_server):
         _, client = start_server(ResultStore(tmp_path / "store"))
@@ -560,13 +588,46 @@ class TestStatusAndGc:
         store.save_analysis("aaa", "cfg", {"v": 1})
         store.save_shard("bbb", "00000000x000004", {"version": 1})
         service = GcService(store, EventBus(), older_than=0.0)
+        # The service defaults to analyses-only (published shards may belong
+        # to a campaign still running; age alone cannot tell).
         assert service.plan() == [
             str(path.relative_to(store.root))
-            for path in store.sweep_candidates(0.0)
+            for path in store.sweep_candidates(0.0, analyses_only=True)
         ]
-        removed = service.sweep_once()
-        assert removed == 2
-        assert service.plan() == []
+        assert service.sweep_once() == 1
+        assert store.load_shard("bbb", "00000000x000004") is not None
+        # Sweeping shards and queue bookkeeping is an explicit request.
+        assert service.plan(analyses_only=False) == [
+            str(path.relative_to(store.root))
+            for path in store.sweep_candidates(0.0, analyses_only=False)
+        ]
+        assert service.sweep_once(analyses_only=False) == 1
+        assert service.plan(analyses_only=False) == []
+
+    def test_background_gc_never_sweeps_published_shards(
+        self, tmp_path, start_server
+    ):
+        """A campaign outliving gc_age must not lose its published shards."""
+        store = ResultStore(tmp_path / "store")
+        store.save_analysis("aaa", "cfg", {"v": 1})
+        store.save_shard("bbb", "00000000x000004", {"version": 1})
+        _, client = start_server(store, gc_interval=0.2, gc_age=0.0)
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            if client.status()["service"]["gc"]["sweeps"] >= 1:
+                break
+            time.sleep(0.1)
+        else:
+            pytest.fail("background GC never swept")
+        assert store.load_analysis("aaa", "cfg") is None
+        assert store.load_shard("bbb", "00000000x000004") is not None
+
+    def test_gc_rejects_non_numeric_older_than(self, tmp_path, start_server):
+        _, client = start_server(ResultStore(tmp_path / "store"))
+        with pytest.raises(ServiceError) as excinfo:
+            client.gc(older_than="soon")  # type: ignore[arg-type]
+        assert excinfo.value.status == 400
+        assert "older_than" in excinfo.value.message
 
     def test_background_gc_loop_sweeps_periodically(
         self, tmp_path, start_server
