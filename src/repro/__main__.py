@@ -381,6 +381,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the job id and return without waiting for the result",
     )
+    submit.add_argument(
+        "--follow",
+        action="store_true",
+        help="render the server's SSE progress stream (scenario resolution, "
+        "shard publishes, worker heartbeats) while waiting for the job",
+    )
 
     pwcet = subparsers.add_parser(
         "pwcet", help="pWCET estimator registry and cross-estimator views"
@@ -572,6 +578,9 @@ def _print_engine_matrix() -> None:
             f"{flag(caps['requires_pickle']).ljust(8)}  "
             f"{availability}"
         )
+    for name, caps in matrix.items():
+        if caps["plan_fallback"]:
+            print(f"{name}: plan fallback: {caps['plan_fallback']}")
     from .engine.jit import numba_missing_reason
 
     importable = "importable" if numba_missing_reason() is None else "not importable"
@@ -643,6 +652,47 @@ def _serve_command(parser: argparse.ArgumentParser, args: argparse.Namespace) ->
     return 0
 
 
+def _render_job_event(event: Dict[str, object]) -> None:
+    """One progress line per SSE event (the ``submit --follow`` stream)."""
+    kind = event.get("event")
+    if kind == "job-submitted":
+        print(f"submitted: {event['scenarios']} scenario(s)")
+    elif kind == "job-started":
+        print("started")
+    elif kind == "scenario-resolved":
+        print(f"scenario {event['label']}: {event['source']}")
+    elif kind == "shard-published":
+        print(f"shard {event['shard']} published (spec {str(event['spec_hash'])[:12]})")
+    elif kind == "worker-heartbeat":
+        state = "finished" if event.get("finished") else "running"
+        print(
+            f"worker {event['owner']} [{event.get('engine', '?')}] {state}: "
+            f"{event['shards_done']}/{event['shards_claimed']} shard(s), "
+            f"{event['runs_done']} run(s)"
+        )
+    elif kind == "job-completed":
+        print(f"completed: {event.get('summary', '')}")
+    elif kind == "job-failed":
+        print(f"failed: {event.get('error', 'job failed')}")
+    else:  # future kinds degrade to their name, not silence
+        print(str(kind))
+
+
+def _follow_job(client, job_id: str, timeout: float) -> Dict[str, object]:
+    """Render the SSE stream until the job finishes; returns the final payload.
+
+    The stream replays history first, so following a job that already
+    finished still prints its full progress trail.  The terminal payload is
+    re-fetched over the plain job endpoint — the SSE events carry progress,
+    not the result body.
+    """
+    for event in client.events(job_id, timeout=timeout):
+        _render_job_event(event)
+        if event.get("event") in ("job-completed", "job-failed"):
+            break
+    return client.job(job_id)
+
+
 def _render_submitted_job(payload: Dict[str, object]) -> None:
     """Human-readable rendering of one finished job payload."""
     print(f"job {payload['job_id']}: {payload['state']}")
@@ -674,6 +724,8 @@ def _submit_command(parser: argparse.ArgumentParser, args: argparse.Namespace) -
     """The ``python -m repro submit`` surface: plan locally, execute remotely."""
     from .service.client import ServiceClient, ServiceError
 
+    if args.follow and args.no_wait:
+        parser.error("--follow waits for the job; it cannot combine with --no-wait")
     targets = _resolve_targets(args.experiment)
     settings = _validated_settings(parser, args, targets)
     if settings is None:
@@ -708,7 +760,10 @@ def _submit_command(parser: argparse.ArgumentParser, args: argparse.Namespace) -
                 f"({submitted['scenarios']} scenario(s))"
             )
             return 0
-        finished = client.wait(job_id, timeout=args.timeout, poll=args.poll)
+        if args.follow:
+            finished = _follow_job(client, job_id, timeout=args.timeout)
+        else:
+            finished = client.wait(job_id, timeout=args.timeout, poll=args.poll)
     except ServiceError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -30,6 +30,9 @@ __all__ = [
     "FifoReplacement",
     "TreePlruReplacement",
     "make_replacement",
+    "replacement_is_randomized",
+    "replacement_touches_on_hit",
+    "REPLACEMENT_CLASSES",
     "REPLACEMENT_NAMES",
 ]
 
@@ -39,6 +42,11 @@ class ReplacementPolicy(ABC):
 
     name: str = "abstract"
     randomized: bool = False
+    #: True when a hit mutates per-set metadata (LRU stamps, PLRU tree bits).
+    #: Policies where :meth:`touch` is a no-op (random, FIFO) leave hits
+    #: stateless, which the plan compiler exploits: eliding a guaranteed hit
+    #: cannot change any future victim choice.
+    touches_on_hit: bool = False
 
     def __init__(self, num_sets: int, num_ways: int) -> None:
         if num_sets < 1 or num_ways < 1:
@@ -66,6 +74,7 @@ class LruReplacement(ReplacementPolicy):
     """True LRU: evict the least recently used way of the set."""
 
     name = "lru"
+    touches_on_hit = True
 
     def reset(self) -> None:
         # Most-recently-used order per set, index 0 = LRU, last = MRU.
@@ -126,6 +135,7 @@ class TreePlruReplacement(ReplacementPolicy):
     """
 
     name = "plru"
+    touches_on_hit = True
 
     def __init__(self, num_sets: int, num_ways: int) -> None:
         if num_ways & (num_ways - 1):
@@ -159,23 +169,44 @@ class TreePlruReplacement(ReplacementPolicy):
             node = parent
 
 
+#: Policy classes by name — lets callers inspect class-level traits such as
+#: ``randomized`` / ``touches_on_hit`` without instantiating a policy
+#: (mirrors ``repro.core.placement.PLACEMENT_CLASSES``).
+REPLACEMENT_CLASSES = {
+    "lru": LruReplacement,
+    "random": RandomReplacement,
+    "fifo": FifoReplacement,
+    "plru": TreePlruReplacement,
+}
+
 #: Names accepted by :func:`make_replacement`.
-REPLACEMENT_NAMES = ("lru", "random", "fifo", "plru")
+REPLACEMENT_NAMES = tuple(REPLACEMENT_CLASSES)
+
+
+def _replacement_class(name: str) -> type:
+    try:
+        return REPLACEMENT_CLASSES[name.lower()]
+    except KeyError as error:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; expected one of {REPLACEMENT_NAMES}"
+        ) from error
+
+
+def replacement_is_randomized(name: str) -> bool:
+    """Whether the named policy draws victims from the per-run seed."""
+    return bool(_replacement_class(name).randomized)
+
+
+def replacement_touches_on_hit(name: str) -> bool:
+    """Whether a hit mutates the named policy's per-set metadata."""
+    return bool(_replacement_class(name).touches_on_hit)
 
 
 def make_replacement(
     name: str, num_sets: int, num_ways: int, seed: int = 0
 ) -> ReplacementPolicy:
     """Instantiate a replacement policy by name."""
-    key = name.lower()
-    if key == "lru":
-        return LruReplacement(num_sets, num_ways)
-    if key == "random":
+    cls = _replacement_class(name)
+    if cls is RandomReplacement:
         return RandomReplacement(num_sets, num_ways, seed=seed)
-    if key == "fifo":
-        return FifoReplacement(num_sets, num_ways)
-    if key == "plru":
-        return TreePlruReplacement(num_sets, num_ways)
-    raise ValueError(
-        f"unknown replacement policy {name!r}; expected one of {REPLACEMENT_NAMES}"
-    )
+    return cls(num_sets, num_ways)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .benes import PermutationNetwork, make_permutation_network
 from .bits import bit_slice, ceil_log2, fold_xor, is_power_of_two, mask, rotate_left
@@ -213,6 +213,21 @@ class PlacementPolicy(ABC):
             "needs_index_in_tag": self.needs_index_in_tag,
         }
 
+    def routing_params(self) -> Optional[Dict[str, object]]:
+        """Scalar routing recipe for in-kernel map evaluation, or ``None``.
+
+        The jit tier (:mod:`repro.engine.jit`) computes set indices on the
+        fly inside the per-lane kernel instead of materializing the
+        ``(lines, seeds)`` matrix up front.  A policy that supports this
+        returns the geometry/wiring constants the kernel needs; ``None``
+        means the map must be materialized (deterministic policies, and the
+        wide-geometry cases where the vector paths also fall back to the
+        scalar model).  The in-kernel evaluation is bit-exact with
+        :meth:`set_index_matrix` — a hypothesis property in the test suite
+        asserts it.
+        """
+        return None
+
 
 def _fold_xor_array(values, in_width: int, out_width: int):
     """Vector counterpart of :func:`repro.core.bits.fold_xor`.
@@ -352,6 +367,19 @@ class HashRandomPlacement(PlacementPolicy):
             index ^= ((row & line).bit_count() & 1) << bit
         return index
 
+    def routing_params(self) -> Optional[Dict[str, object]]:
+        if self._hash_width > 64:
+            # The matrix rows straddle one machine word; the vector paths
+            # fall back to the scalar model here too.
+            return None
+        return {
+            "kind": "hrp",
+            "index_bits": self.geometry.index_bits,
+            "hash_width": self._hash_width,
+            "offset_bits": self.geometry.offset_bits,
+            "address_bits": self.geometry.address_bits,
+        }
+
     def set_index_array(self, addresses):
         import numpy as np
 
@@ -480,6 +508,28 @@ class RandomModuloPlacement(PlacementPolicy):
         modulo_index = geometry.modulo_index(address)
         upper = geometry.line_address(address) >> geometry.index_bits
         return self.network.apply(modulo_index, self._controls_for(upper))
+
+    def routing_params(self) -> Optional[Dict[str, object]]:
+        geometry = self.geometry
+        n_controls = self.network.num_switches
+        if (
+            not 0 < n_controls < 64
+            or geometry.upper_bits > 64
+            or geometry.address_bits > 64
+        ):
+            # Same wide-geometry guard as the vector paths: the control word
+            # or upper field would not fit one machine word.
+            return None
+        return {
+            "kind": "rm",
+            "index_bits": geometry.index_bits,
+            "n_controls": n_controls,
+            "upper_bits": geometry.upper_bits,
+            "offset_bits": geometry.offset_bits,
+            "address_bits": geometry.address_bits,
+            "wire_a": [wire_a for wire_a, _ in self.network.switches],
+            "wire_b": [wire_b for _, wire_b in self.network.switches],
+        }
 
     def set_index_array(self, addresses):
         import numpy as np

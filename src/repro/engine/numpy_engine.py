@@ -20,9 +20,11 @@ Two execution paths share the setup and seed-derivation machinery:
   the plan compiler does not model and as an independent cross-check.
 
 Placement maps are evaluated per (seed, cache) with the vectorized policy
-hooks (:meth:`repro.core.placement.PlacementPolicy.set_index_array`);
-deterministic policies share one seed-invariant map exactly like the fast
-engine's static maps.  Seed derivation (hierarchy -> cache -> policy seeds)
+hooks (:meth:`repro.core.placement.PlacementPolicy.set_index_array`), only
+over the rows each slot can actually index, and memoized by content hash
+(:mod:`repro.engine.mapcache`) so repeated batches, resumed shards, and
+overlapping sweeps never rebuild a map twice; deterministic policies share
+one seed-invariant map exactly like the fast engine's static maps.  Seed derivation (hierarchy -> cache -> policy seeds)
 runs the same SplitMix64 chain as
 :func:`repro.cache.hierarchy.derive_cache_seeds` /
 :func:`repro.cache.cache.derive_policy_seeds`, vectorized, so the engine is
@@ -35,6 +37,7 @@ order.  The cross-engine equivalence tests assert all of this.
 
 from __future__ import annotations
 
+import logging
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -42,13 +45,51 @@ import numpy as np
 from ..cache.cache import WRITE_BACK, CacheConfig
 from ..cache.fastsim import FETCH_KIND, STORE_KIND, CompiledTrace, FastRunResult
 from ..cache.hierarchy import HierarchyConfig
+from ..cache.replacement import REPLACEMENT_NAMES
 from ..core.bits import mask
 from ..core.placement import make_placement, placement_is_randomized
-from ..core.prng import splitmix64_next_array
+from ..core.prng import (
+    SPLITMIX64_GAMMA,
+    SPLITMIX64_MIX1,
+    SPLITMIX64_MIX2,
+)
+
+_SM64_GAMMA = np.uint64(SPLITMIX64_GAMMA)
+_SM64_MIX1 = np.uint64(SPLITMIX64_MIX1)
+_SM64_MIX2 = np.uint64(SPLITMIX64_MIX2)
+try:  # pragma: no cover - exercised implicitly on every plan batch
+    from numpy._core.multiarray import count_nonzero as _count_nonzero
+except ImportError:  # pragma: no cover - older numpy
+    _count_nonzero = np.count_nonzero
+
+_SM64_S30 = np.uint64(30)
+_SM64_S27 = np.uint64(27)
+_SM64_S31 = np.uint64(31)
+
+
+def splitmix64_next_array(states):
+    """:func:`repro.core.prng.splitmix64_next_array` with the constants
+    pre-converted to ``np.uint64`` and the mixing done in place — the
+    generic version keeps Python-int constants (so :mod:`repro.core` stays
+    importable without numpy) and allocates a temporary per operation; the
+    victim-draw hot path here calls this hundreds of times per batch."""
+    states += _SM64_GAMMA
+    z = states >> _SM64_S30
+    z ^= states
+    z *= _SM64_MIX1
+    out = z >> _SM64_S27
+    out ^= z
+    out *= _SM64_MIX2
+    z = out >> _SM64_S31
+    z ^= out
+    return z
 from .base import Engine
+from .mapcache import cached_set_index_matrix
 from .plan import PlanUnsupported, TracePlan, compile_plan
 
 __all__ = ["NumpyEngine", "DEFAULT_MAX_LANES", "derive_seed_arrays"]
+
+logger = logging.getLogger(__name__)
 
 #: Seeds simulated per internal chunk.  Bounds the working set (state arrays
 #: and per-seed placement maps grow linearly with the lane count) without
@@ -97,7 +138,13 @@ class _ReplacementRng:
         if values is None:
             values = self._advance_rng(idx)
         if not bound & (bound - 1):
-            return (values & np.uint64(bound - 1)).astype(np.int64)
+            # Masked values fit in an int64, so reinterpreting the bits is
+            # free and exact — no astype copy.
+            try:
+                way_mask = self._way_mask
+            except AttributeError:
+                way_mask = self._way_mask = np.uint64(bound - 1)
+            return (values & way_mask).view(np.int64)
         if _U64_SPACE % bound == 0:
             return (values % bound).astype(np.int64)
         limit = np.uint64(_U64_SPACE - _U64_SPACE % bound)
@@ -133,15 +180,19 @@ class _LaneCache(_ReplacementRng):
         line_tags: np.ndarray,
         replacement_states: np.ndarray,
     ) -> None:
-        if config.replacement not in ("random", "lru"):
+        if config.replacement not in REPLACEMENT_NAMES:
             raise ValueError(
-                f"numpy engine supports 'random' and 'lru' replacement, "
+                f"numpy engine supports {REPLACEMENT_NAMES} replacement, "
                 f"got {config.replacement!r} for {config.name}"
             )
         self.n_lanes = n_lanes
         self.ways = config.ways
         self.write_back = config.write_policy == WRITE_BACK
         self.lru = config.replacement == "lru"
+        self.fifo = config.replacement == "fifo"
+        self.plru = config.replacement == "plru"
+        #: Hits mutate replacement metadata (LRU stamps / PLRU tree bits).
+        self.touches = self.lru or self.plru
         #: (U, n_lanes) per-seed set indices, or (U,) when seed-invariant.
         self.line_sets = line_sets
         self.line_tags = line_tags
@@ -153,6 +204,18 @@ class _LaneCache(_ReplacementRng):
         if self.lru:
             self.stamp = np.zeros(shape, dtype=np.int64)
             self._clock = 0
+        elif self.plru:
+            if config.ways & (config.ways - 1):
+                raise ValueError(
+                    f"plru replacement requires a power-of-two associativity, "
+                    f"got {config.ways} for {config.name}"
+                )
+            self._plru_depth = config.ways.bit_length() - 1
+            self.plru_bits = np.zeros(
+                (n_lanes, config.num_sets, config.ways - 1), dtype=np.uint8
+            )
+        elif self.fifo:
+            self.fifo_next = np.zeros((n_lanes, config.num_sets), dtype=np.int16)
         else:
             self.rng_state = replacement_states
         self.misses = np.zeros(n_lanes, dtype=np.int64)
@@ -175,9 +238,22 @@ class _LaneCache(_ReplacementRng):
     # ------------------------------------------------------------ replacement
 
     def touch(self, idx: np.ndarray, sets: np.ndarray, ways: np.ndarray) -> None:
-        if self.lru and idx.size:
+        if not idx.size:
+            return
+        if self.lru:
             self._clock += 1
             self.stamp[idx, sets, ways] = self._clock
+        elif self.plru:
+            # Flip the tree bits along the leaf-to-root path to point away
+            # from the used way (all leaves share one depth: ways is a
+            # power of two).  A node is its parent's left child iff its
+            # heap index is odd.
+            bits = self.plru_bits
+            node = ways.astype(np.int64) + (self.ways - 1)
+            for _ in range(self._plru_depth):
+                parent = (node - 1) >> 1
+                bits[idx, sets, parent] = (node & 1).astype(np.uint8)
+                node = parent
 
     def choose_victim(self, idx: np.ndarray, sets: np.ndarray) -> np.ndarray:
         """First invalid way per lane, else the replacement policy's victim."""
@@ -187,8 +263,21 @@ class _LaneCache(_ReplacementRng):
         full = ~invalid.any(axis=1)
         if full.any():
             full_idx = idx[full]
+            full_sets = sets[full]
             if self.lru:
-                victim[full] = self.stamp[full_idx, sets[full]].argmin(axis=1)
+                victim[full] = self.stamp[full_idx, full_sets].argmin(axis=1)
+            elif self.fifo:
+                head = self.fifo_next[full_idx, full_sets].astype(np.int64)
+                nxt = head + 1
+                nxt[nxt == self.ways] = 0
+                self.fifo_next[full_idx, full_sets] = nxt
+                victim[full] = head
+            elif self.plru:
+                bits = self.plru_bits
+                node = np.zeros(full_idx.shape, dtype=np.int64)
+                for _ in range(self._plru_depth):
+                    node = 2 * node + 1 + bits[full_idx, full_sets, node]
+                victim[full] = node - (self.ways - 1)
             else:
                 victim[full] = self._draw_below(full_idx)
         return victim
@@ -210,6 +299,25 @@ class _PlanCache(_ReplacementRng):
     comparison, no array op at all.
     """
 
+    @staticmethod
+    def _pooled(pool, name, shape, dtype, fill=None):
+        """A batch-state array, recycled from ``pool`` when shapes match.
+
+        The plan state (way map, occupancy, dirty bits, victim table) is
+        reallocated per batch; at campaign lane counts that is several MB of
+        mmap/page-fault/munmap churn per call.  Reusing the previous batch's
+        buffers turns that into plain memsets.  ``fill=None`` skips even the
+        memset for arrays whose cells are never read before being written.
+        """
+        arr = pool.get(name) if pool is not None else None
+        if arr is None or arr.shape != shape or arr.dtype != np.dtype(dtype):
+            arr = np.empty(shape, dtype=dtype)
+            if pool is not None:
+                pool[name] = arr
+        if fill is not None:
+            arr.fill(fill)
+        return arr
+
     def __init__(
         self,
         config: CacheConfig,
@@ -217,37 +325,128 @@ class _PlanCache(_ReplacementRng):
         line_sets: np.ndarray,
         line_tags: np.ndarray,
         replacement_states: np.ndarray,
+        cell_memo: Optional[dict] = None,
+        buffers: Optional[dict] = None,
     ) -> None:
         self.n_lanes = n_lanes
         self.ways = config.ways
         self.write_back = config.write_policy == WRITE_BACK
         self.lru = config.replacement == "lru"
+        self.fifo = config.replacement == "fifo"
+        self.plru = config.replacement == "plru"
+        self.touches = self.lru or self.plru
         self.line_sets = line_sets
-        lane_offsets = np.arange(n_lanes, dtype=np.int64) * config.num_sets
-        if line_sets.ndim == 2:
-            self.occ_cell = line_sets + lane_offsets[None, :]
+        # The cell tables are pure functions of (line_sets, n_lanes,
+        # geometry); with the placement maps memoized and shared between
+        # batches (see mapcache), the derived tables are memoized too — the
+        # identity check guards against a recycled id() after the source map
+        # is evicted from the LRU.
+        memo_key = (id(line_sets), n_lanes, config.num_sets, config.ways)
+        memo_hit = cell_memo.get(memo_key) if cell_memo is not None else None
+        if memo_hit is not None and memo_hit[0] is line_sets:
+            self.occ_cell, self.way_cell = memo_hit[1], memo_hit[2]
         else:
-            self.occ_cell = line_sets[:, None] + lane_offsets[None, :]
+            lane_offsets = np.arange(n_lanes, dtype=np.int64) * config.num_sets
+            if line_sets.ndim == 2:
+                self.occ_cell = line_sets + lane_offsets[None, :]
+            else:
+                self.occ_cell = (
+                    line_sets.astype(np.int64)[:, None] + lane_offsets[None, :]
+                )
+            #: Way-cell base of each (uid, lane): ``occ_cell * ways`` hoisted
+            #: out of the per-step loop (one vector multiply per batch).
+            self.way_cell = self.occ_cell * config.ways
+            if cell_memo is not None:
+                if len(cell_memo) >= 16:
+                    cell_memo.clear()
+                cell_memo[memo_key] = (line_sets, self.occ_cell, self.way_cell)
         cells = n_lanes * config.num_sets * config.ways
-        self.way_of = np.full((len(line_tags), n_lanes), -1, dtype=np.int16)
-        self.occupancy = np.zeros(n_lanes * config.num_sets, dtype=np.int16)
-        self.dirty = np.zeros(cells, dtype=bool)
-        self.victims = np.zeros(cells, dtype=np.int32)
-        self.resident = np.zeros(len(line_tags), dtype=np.int64)
+        n_lines = len(line_tags)
+        pooled = self._pooled
+        self.way_of = pooled(buffers, "way_of", (n_lines, n_lanes), np.int16, -1)
+        self.occupancy = pooled(
+            buffers, "occupancy", (n_lanes * config.num_sets,), np.int16, 0
+        )
+        # Dirtiness is a property of the cached *line*, not its way slot:
+        # tracked per (uid, lane), it is read only while a line is resident
+        # (victim collection), so stale entries of evicted lines are always
+        # overwritten by the next install before any read.  Store hits of
+        # non-touching policies then dirty a whole row without gathering way
+        # cells at all.  Write-through caches never read it.
+        self.dirty_line = (
+            pooled(buffers, "dirty_line", (n_lines, n_lanes), bool, False)
+            if self.write_back
+            else None
+        )
+        # Never read before the cell is installed (reads happen only for
+        # victim ways of full sets), so no fill is needed.
+        self.victims = pooled(buffers, "victims", (cells,), np.int32)
+        self.resident = pooled(buffers, "resident", (n_lines,), np.int64, 0)
         self._all_idx = np.arange(n_lanes)
         if self.lru:
-            self.stamp = np.zeros(cells, dtype=np.int64)
+            self.stamp = pooled(buffers, "stamp", (cells,), np.int64, 0)
             self.stamp_sets = self.stamp.reshape(-1, config.ways)
             self._clock = 0
+        elif self.plru:
+            if config.ways & (config.ways - 1):
+                raise ValueError(
+                    f"plru replacement requires a power-of-two associativity, "
+                    f"got {config.ways} for {config.name}"
+                )
+            self._plru_depth = config.ways.bit_length() - 1
+            self.plru_bits = pooled(
+                buffers,
+                "plru_bits",
+                (n_lanes * config.num_sets, max(config.ways - 1, 1)),
+                np.uint8,
+                0,
+            )
+        elif self.fifo:
+            self.fifo_next = pooled(
+                buffers, "fifo_next", (n_lanes * config.num_sets,), np.int16, 0
+            )
         else:
             self.rng_state = replacement_states
         self.misses = np.zeros(n_lanes, dtype=np.int64)
         self.accesses = np.zeros(n_lanes, dtype=np.int64)
 
-    def touch_cells(self, cells: np.ndarray) -> None:
+    def touch_cells(self, cells, occ_cells, ways) -> None:
+        """Record a hit/fill of way ``ways`` in the (lane, set) cells.
+
+        LRU stamps the flat way cells; PLRU flips the tree bits of the
+        ``occ_cells`` rows away from the used way (see ``_LaneCache.touch``
+        for the bit layout).  Stateless policies ignore the call.
+        """
         if self.lru:
             self._clock += 1
             self.stamp[cells] = self._clock
+        elif self.plru:
+            bits = self.plru_bits
+            node = ways.astype(np.int64) + (self.ways - 1)
+            for _ in range(self._plru_depth):
+                parent = (node - 1) >> 1
+                bits[occ_cells, parent] = (node & 1).astype(np.uint8)
+                node = parent
+
+    def _policy_victims(self, occ_cells, idx, all_lanes=False) -> np.ndarray:
+        """Replacement victims for full sets (one per entry of ``occ_cells``)."""
+        if self.lru:
+            return self.stamp_sets[occ_cells].argmin(axis=1)
+        if self.fifo:
+            head = self.fifo_next[occ_cells].astype(np.int64)
+            nxt = head + 1
+            nxt[nxt == self.ways] = 0
+            self.fifo_next[occ_cells] = nxt
+            return head
+        if self.plru:
+            bits = self.plru_bits
+            node = np.zeros(occ_cells.shape, dtype=np.int64)
+            for _ in range(self._plru_depth):
+                node = 2 * node + 1 + bits[occ_cells, node]
+            return node - (self.ways - 1)
+        if all_lanes:
+            return self._draw_below_all()
+        return self._draw_below(idx)
 
     def _evict_resident(self, evicted) -> None:
         resident = self.resident
@@ -258,76 +457,146 @@ class _PlanCache(_ReplacementRng):
                 resident[uid] -= 1
 
     def allocate(self, idx, occ_cells, uids, make_dirty, collect=False,
-                 all_lanes=False):
+                 all_lanes=False, base_cells=None):
         """Victim choice + eviction + install for the missing lanes ``idx``.
 
         ``occ_cells`` are the (lane, set) cells of the target line in those
-        lanes; ``uids`` is the installed line (scalar, or per-lane array for
-        writeback targets).  With ``collect`` the dirty evicted victims are
-        returned as ``(lanes, uids)`` (else ``(None, None)``) — demand fills
-        charge them, plain L2 write allocations drop them, mirroring the
-        fast engine.  ``all_lanes`` asserts ``idx`` covers every lane in
-        order (the dominant cold-miss case), turning scatters into whole-row
-        writes.
+        lanes (``base_cells``, when given, their precomputed way-cell bases
+        ``occ_cells * ways``); ``uids`` is the installed line (scalar, or
+        per-lane array for writeback targets).  With ``collect`` the dirty
+        evicted victims are returned as ``(lanes, uids)`` (else
+        ``(None, None)``) — demand fills charge them, plain L2 write
+        allocations drop them, mirroring the fast engine.  ``all_lanes``
+        asserts ``idx`` covers every lane in order (the dominant cold-miss
+        case), turning scatters into whole-row writes.
         """
-        occ = self.occupancy[occ_cells]
-        full = occ >= self.ways
+        ways = self.ways
+        occupancy = self.occupancy
+        victims = self.victims
+        way_of = self.way_of
+        write_back = self.write_back
+        if base_cells is None:
+            base_cells = occ_cells * ways
+        occ = occupancy[occ_cells]
+        full = occ >= ways
+        n_full = _count_nonzero(full)
         wb_lanes = wb_uids = None
-        if full.all():
+        if not n_full:
+            # Pure fill — no target set is full (the dominant case while a
+            # cache warms up, and nearly every L2 call: few hundred distinct
+            # lines over a thousand sets rarely fill one).  Install into the
+            # next free way and return without the eviction machinery.
+            victim = occ
+            occupancy[occ_cells] = occ + 1
+            cells = base_cells + victim
+            victims[cells] = uids
+            if isinstance(uids, int):
+                if write_back:
+                    if all_lanes:
+                        self.dirty_line[uids] = make_dirty
+                    else:
+                        self.dirty_line[uids, idx] = make_dirty
+                if all_lanes:
+                    way_of[uids] = victim
+                else:
+                    way_of[uids, idx] = victim
+                self.resident[uids] += idx.size
+            else:
+                if write_back:
+                    self.dirty_line[uids, idx] = make_dirty
+                way_of[uids, idx] = victim
+                for uid in uids.tolist():
+                    self.resident[uid] += 1
+            if self.touches:
+                self.touch_cells(cells, occ_cells, victim)
+            return None, None
+        if n_full == full.size:
             # Steady state: every target set is full, occupancy is pinned at
             # ``ways`` and every fill evicts.
-            if self.lru:
-                victim = self.stamp_sets[occ_cells].argmin(axis=1)
-            elif all_lanes:
-                victim = self._draw_below_all()
-            else:
-                victim = self._draw_below(idx)
-            cells = occ_cells * self.ways + victim
-            evicted = self.victims[cells]
-            self.way_of[evicted, idx] = -1
+            victim = self._policy_victims(occ_cells, idx, all_lanes=all_lanes)
+            cells = base_cells + victim
+            evicted = victims[cells]
+            way_of[evicted, idx] = -1
             self._evict_resident(evicted)
-            if collect and self.write_back:
-                needs = self.dirty[cells]
+            if collect and write_back:
+                needs = self.dirty_line[evicted, idx]
                 if needs.any():
                     wb_lanes = idx[needs]
                     wb_uids = evicted[needs]
-        elif full.any():
-            victim = occ.copy()
+        else:
+            victim = occ.astype(np.int64)
             full_idx = idx[full]
-            if self.lru:
-                victim[full] = self.stamp_sets[occ_cells[full]].argmin(axis=1)
-            else:
-                victim[full] = self._draw_below(full_idx)
-            self.occupancy[occ_cells] = np.minimum(occ + 1, self.ways)
-            cells = occ_cells * self.ways + victim
-            evict_cells = cells[full]
-            evicted = self.victims[evict_cells]
-            self.way_of[evicted, full_idx] = -1
+            victim[full] = self._policy_victims(occ_cells[full], full_idx)
+            occupancy[occ_cells] = np.minimum(occ + 1, ways)
+            cells = base_cells + victim
+            evicted = victims[cells[full]]
+            way_of[evicted, full_idx] = -1
             self._evict_resident(evicted)
-            if collect and self.write_back:
-                needs = self.dirty[evict_cells]
+            if collect and write_back:
+                needs = self.dirty_line[evicted, full_idx]
                 if needs.any():
                     wb_lanes = full_idx[needs]
                     wb_uids = evicted[needs]
-        else:
-            victim = occ
-            self.occupancy[occ_cells] = occ + 1
-            cells = occ_cells * self.ways + victim
-        self.victims[cells] = uids
-        if self.write_back:
-            self.dirty[cells] = make_dirty
+        victims[cells] = uids
         if isinstance(uids, int):
+            if write_back:
+                if all_lanes:
+                    self.dirty_line[uids] = make_dirty
+                else:
+                    self.dirty_line[uids, idx] = make_dirty
             if all_lanes:
-                self.way_of[uids] = victim
+                way_of[uids] = victim
             else:
-                self.way_of[uids, idx] = victim
+                way_of[uids, idx] = victim
             self.resident[uids] += idx.size
         else:
-            self.way_of[uids, idx] = victim
+            if write_back:
+                self.dirty_line[uids, idx] = make_dirty
+            way_of[uids, idx] = victim
             for uid in uids.tolist():
                 self.resident[uid] += 1
-        self.touch_cells(cells)
+        if self.touches:
+            self.touch_cells(cells, occ_cells, victim)
         return wb_lanes, wb_uids
+
+
+class _PlanCounters:
+    """Deferred per-lane event counters for one plan execution.
+
+    The plan loop fires thousands of tiny ``array[idx] += 1`` updates whose
+    results are only read once, after the last step.  Instead of paying a
+    fancy-index round-trip per event, events are appended (lane-index arrays
+    for partial-lane events, a plain int for whole-batch events) and summed
+    into per-lane counts with one ``bincount`` per counter at the end.
+    """
+
+    __slots__ = (
+        "demand", "demand_all", "write", "write_all",
+        "l2_miss", "l2_miss_all", "mem", "mem_all", "memonly",
+    )
+
+    def __init__(self) -> None:
+        self.demand = []        # L2 demand lookups (charge l2_hit latency)
+        self.demand_all = 0
+        self.write = []         # latency-free L2 write lookups
+        self.write_all = 0
+        self.l2_miss = []
+        self.l2_miss_all = 0
+        self.mem = []           # memory accesses that charge memory latency
+        self.mem_all = 0
+        self.memonly = []       # memory accesses with no latency (WT stores)
+
+
+def _deferred_counts(parts, whole, n) -> Optional[np.ndarray]:
+    """Per-lane totals of a :class:`_PlanCounters` event stream (or None)."""
+    if parts:
+        counts = np.bincount(np.concatenate(parts), minlength=n)
+        if whole:
+            counts += whole
+        return counts
+    if whole:
+        return np.full(n, whole, dtype=np.int64)
+    return None
 
 
 class _VectorSimulator:
@@ -340,8 +609,6 @@ class _VectorSimulator:
         max_lanes: Optional[int] = None,
         use_plan: Optional[bool] = None,
     ) -> None:
-        if config.l2 is not None and config.l2.write_policy != WRITE_BACK:
-            raise ValueError("numpy engine models the L2 as write-back only")
         self.config = config
         self.compiled = compiled
         self.max_lanes = max_lanes or DEFAULT_MAX_LANES
@@ -375,17 +642,34 @@ class _VectorSimulator:
             static_sets = None if randomized else policy.set_index_array(self._lines)
             self._slots.append((cache_config, policy, randomized, tags, static_sets))
         self._plan: Optional[TracePlan] = None
+        self._plan_error: Optional[str] = None
+        self._fallback_logged = False
+        #: Batch-to-batch memo of derived plan tables (expanded row-subset
+        #: maps and (occ_cell, way_cell) pairs), keyed by the identity of the
+        #: memoized placement maps they derive from.
+        self._cell_memo: dict = {}
+        #: Recycled per-(slot, lane-count) plan-state buffers; see
+        #: :meth:`_PlanCache._pooled`.
+        self._buffer_pool: dict = {}
         if use_plan is None or use_plan:
             try:
                 self._plan = compile_plan(config, compiled)
-            except PlanUnsupported:
+            except PlanUnsupported as error:
                 if use_plan:
                     raise
+                self._plan_error = str(error)
+        elif use_plan is False:
+            self._plan_error = "plan disabled (use_plan=False)"
 
     @property
     def plan(self) -> Optional[TracePlan]:
         """The compiled :class:`TracePlan`, or None on the fallback path."""
         return self._plan
+
+    @property
+    def plan_error(self) -> Optional[str]:
+        """Why no plan compiled (``None`` when the plan path is active)."""
+        return self._plan_error
 
     # ----------------------------------------------------------------- public
 
@@ -400,6 +684,15 @@ class _VectorSimulator:
                 return self._run_lanes_plan(seeds[:1]) * len(seeds)
             runner = self._run_lanes_plan
         else:
+            if not self._fallback_logged:
+                # Surface the reason once per simulator instead of silently
+                # dropping the ~100x compiled path.
+                self._fallback_logged = True
+                logger.info(
+                    "no trace plan for this configuration (%s); using the "
+                    "per-access interpreter path",
+                    self._plan_error or "unknown reason",
+                )
             runner = self._run_lanes_interp
         results: List[FastRunResult] = []
         for start in range(0, len(seeds), self.max_lanes):
@@ -410,32 +703,59 @@ class _VectorSimulator:
 
     def _build_cache(
         self, slot_state, n_lanes, placement_seeds, replacement_seeds,
-        cls=_LaneCache, rows=None,
+        cls=_LaneCache, rows=None, slot=0,
     ):
         cache_config, policy, randomized, tags, static_sets = slot_state
         if randomized:
             seed_list = [int(seed) for seed in placement_seeds]
             if rows is not None and rows.size < len(self._lines):
                 # Evaluate the map only over the rows this slot can index;
-                # the remaining rows are never read.
-                line_sets = np.zeros((len(self._lines), n_lanes), dtype=np.int64)
-                line_sets[rows] = policy.set_index_matrix(
-                    self._lines[rows], seed_list
+                # the remaining rows are never read.  The expanded full-table
+                # view is memoized beside the cell tables so repeated batches
+                # over the same seed block skip the scatter too (the identity
+                # check guards against id() reuse after an LRU eviction).
+                subset = cached_set_index_matrix(
+                    policy, self._lines[rows], seed_list
                 )
+                memo_key = ("rows", id(subset), n_lanes)
+                memo_hit = self._cell_memo.get(memo_key)
+                if memo_hit is not None and memo_hit[0] is subset:
+                    line_sets = memo_hit[1]
+                else:
+                    line_sets = np.zeros(
+                        (len(self._lines), n_lanes), dtype=np.int64
+                    )
+                    line_sets[rows] = subset
+                    line_sets.flags.writeable = False
+                    if len(self._cell_memo) >= 16:
+                        self._cell_memo.clear()
+                    self._cell_memo[memo_key] = (subset, line_sets)
             else:
-                line_sets = policy.set_index_matrix(self._lines, seed_list)
+                line_sets = cached_set_index_matrix(policy, self._lines, seed_list)
         else:
             line_sets = static_sets
+        if cls is _PlanCache:
+            if len(self._buffer_pool) >= 12:
+                self._buffer_pool.clear()
+            return cls(
+                cache_config, n_lanes, line_sets, tags, replacement_seeds,
+                cell_memo=self._cell_memo,
+                buffers=self._buffer_pool.setdefault((slot, n_lanes), {}),
+            )
         return cls(cache_config, n_lanes, line_sets, tags, replacement_seeds)
 
     def _build_hierarchy(self, seeds: Sequence[int], cls):
         n = len(seeds)
         per_cache = derive_seed_arrays(seeds)
         rows = self._slot_rows
-        il1 = self._build_cache(self._slots[0], n, *per_cache[0], cls=cls, rows=rows[0])
-        dl1 = self._build_cache(self._slots[1], n, *per_cache[1], cls=cls, rows=rows[1])
+        il1 = self._build_cache(
+            self._slots[0], n, *per_cache[0], cls=cls, rows=rows[0], slot=0
+        )
+        dl1 = self._build_cache(
+            self._slots[1], n, *per_cache[1], cls=cls, rows=rows[1], slot=1
+        )
         l2 = (
-            self._build_cache(self._slots[2], n, *per_cache[2], cls=cls)
+            self._build_cache(self._slots[2], n, *per_cache[2], cls=cls, slot=2)
             if self._slots[2] is not None
             else None
         )
@@ -445,16 +765,24 @@ class _VectorSimulator:
         self, n, il1, dl1, l2, extra_cycles, memory_accesses
     ) -> List[FastRunResult]:
         base_cycles = len(self._kinds) * self.config.timings.l1_hit
+        # ``tolist`` converts whole arrays to Python ints in one C call,
+        # instead of one ``int()`` round-trip per field per lane.
+        cycles = (base_cycles + extra_cycles).tolist()
+        memory = memory_accesses.tolist()
+        il1_misses = il1.misses.tolist()
+        dl1_misses = dl1.misses.tolist()
+        l2_accesses = l2.accesses.tolist() if l2 is not None else [0] * n
+        l2_misses = l2.misses.tolist() if l2 is not None else [0] * n
         return [
             FastRunResult(
-                cycles=int(base_cycles + extra_cycles[i]),
-                memory_accesses=int(memory_accesses[i]),
+                cycles=cycles[i],
+                memory_accesses=memory[i],
                 il1_accesses=self._il1_accesses,
-                il1_misses=int(il1.misses[i]),
+                il1_misses=il1_misses[i],
                 dl1_accesses=self._dl1_accesses,
-                dl1_misses=int(dl1.misses[i]),
-                l2_accesses=int(l2.accesses[i]) if l2 is not None else 0,
-                l2_misses=int(l2.misses[i]) if l2 is not None else 0,
+                dl1_misses=dl1_misses[i],
+                l2_accesses=l2_accesses[i],
+                l2_misses=l2_misses[i],
             )
             for i in range(n)
         ]
@@ -479,32 +807,37 @@ class _VectorSimulator:
         )
         lanes = np.arange(n)
         l1s = (il1, dl1)
+        acc = _PlanCounters()
+        l1_miss_parts = ([], [])
+        l1_miss_all = [0, 0]
 
         for slot, uid, is_store, sure_hit, dirty_after in plan.steps:
             l1 = l1s[slot]
             if sure_hit or l1.resident[uid] == n:
                 # Every lane hits: touch / store traffic only.
-                if not (l1.lru or is_store or dirty_after):
+                if not (l1.touches or is_store or dirty_after):
                     continue
-                if l1.lru or (is_store and l1.write_back) or dirty_after:
-                    cells = l1.occ_cell[uid] * l1.ways + l1.way_of[uid]
-                    l1.touch_cells(cells)
-                    if (is_store and l1.write_back) or dirty_after:
-                        l1.dirty[cells] = True
+                if l1.touches:
+                    ways_u = l1.way_of[uid]
+                    cells = l1.way_cell[uid] + ways_u
+                    l1.touch_cells(cells, l1.occ_cell[uid], ways_u)
+                if (is_store and l1.write_back) or dirty_after:
+                    l1.dirty_line[uid] = True
                 if is_store and not l1.write_back:
                     if l2 is not None:
-                        self._plan_l2_write(l2, lanes, uid, all_lanes=True)
+                        self._plan_l2_write(l2, lanes, uid, acc, all_lanes=True)
                     else:
                         memory_accesses += 1
                 continue
 
             ways_u = l1.way_of[uid]
             occ_row = l1.occ_cell[uid]
+            base_row = l1.way_cell[uid]
             all_miss = not l1.resident[uid]
             if all_miss:
                 hit_idx = None
                 miss_idx = lanes
-            elif l1.lru or is_store:
+            elif l1.touches or is_store:
                 hit = ways_u >= 0
                 hit_idx = np.nonzero(hit)[0]
                 miss_idx = np.nonzero(~hit)[0]
@@ -513,38 +846,41 @@ class _VectorSimulator:
                 miss_idx = np.nonzero(ways_u < 0)[0]
 
             if hit_idx is not None and hit_idx.size:
-                if l1.lru or (is_store and l1.write_back):
-                    hit_cells = occ_row[hit_idx] * l1.ways + ways_u[hit_idx]
-                    l1.touch_cells(hit_cells)
-                    if is_store and l1.write_back:
-                        l1.dirty[hit_cells] = True
+                if l1.touches:
+                    hit_cells = base_row[hit_idx] + ways_u[hit_idx]
+                    l1.touch_cells(hit_cells, occ_row[hit_idx], ways_u[hit_idx])
+                if is_store and l1.write_back:
+                    l1.dirty_line[uid, hit_idx] = True
                 if is_store and not l1.write_back:
                     if l2 is not None:
-                        self._plan_l2_write(l2, hit_idx, uid)
+                        self._plan_l2_write(l2, hit_idx, uid, acc)
                     else:
                         memory_accesses[hit_idx] += 1
 
             if all_miss:
-                l1.misses += 1
+                l1_miss_all[slot] += 1
             else:
-                l1.misses[miss_idx] += 1
+                l1_miss_parts[slot].append(miss_idx)
             writeback_lanes = writeback_uids = None
             if not (is_store and not l1.write_back):
                 writeback_lanes, writeback_uids = l1.allocate(
                     miss_idx, occ_row if all_miss else occ_row[miss_idx], uid,
                     is_store and l1.write_back, collect=l1.write_back,
                     all_lanes=all_miss,
+                    base_cells=base_row if all_miss else base_row[miss_idx],
                 )
             if dirty_after:
                 # Elided write-back store hits of this step's run: the line
                 # is now resident in every lane (hit or just filled).
-                l1.dirty[occ_row * l1.ways + l1.way_of[uid]] = True
+                l1.dirty_line[uid] = True
 
             # Dirty L1 victims go to the next level first.
             if writeback_lanes is not None:
                 if l2 is not None:
                     extra_cycles[writeback_lanes] += writeback_latency
-                    self._plan_l2_write(l2, writeback_lanes, None, writeback_uids)
+                    self._plan_l2_write(
+                        l2, writeback_lanes, None, acc, uids=writeback_uids
+                    )
                 else:
                     extra_cycles[writeback_lanes] += memory_latency
                     memory_accesses[writeback_lanes] += 1
@@ -559,38 +895,77 @@ class _VectorSimulator:
                     memory_accesses[miss_idx] += 1
                 continue
             if all_miss:
-                extra_cycles += l2_hit_latency
+                acc.demand_all += 1
             else:
-                extra_cycles[miss_idx] += l2_hit_latency
+                acc.demand.append(miss_idx)
             self._plan_l2_demand(
                 l2, miss_idx, uid, is_store and not l1.write_back,
-                extra_cycles, memory_accesses, writeback_latency, memory_latency,
+                extra_cycles, memory_accesses, writeback_latency, acc,
                 all_lanes=all_miss,
             )
 
+        for slot, l1 in enumerate(l1s):
+            counts = _deferred_counts(l1_miss_parts[slot], l1_miss_all[slot], n)
+            if counts is not None:
+                l1.misses += counts
+        if l2 is not None:
+            counts = _deferred_counts(acc.demand, acc.demand_all, n)
+            if counts is not None:
+                l2.accesses += counts
+                extra_cycles += counts * l2_hit_latency
+            counts = _deferred_counts(acc.write, acc.write_all, n)
+            if counts is not None:
+                l2.accesses += counts
+            counts = _deferred_counts(acc.l2_miss, acc.l2_miss_all, n)
+            if counts is not None:
+                l2.misses += counts
+            counts = _deferred_counts(acc.mem, acc.mem_all, n)
+            if counts is not None:
+                memory_accesses += counts
+                extra_cycles += counts * memory_latency
+            counts = _deferred_counts(acc.memonly, 0, n)
+            if counts is not None:
+                memory_accesses += counts
+
         return self._package_results(n, il1, dl1, l2, extra_cycles, memory_accesses)
 
-    def _plan_l2_write(self, l2, idx, uid, uids=None, all_lanes=False) -> None:
-        """Latency-free write-through/writeback update of the L2 (plan form).
+    def _plan_l2_write(
+        self, l2, idx, uid, acc, uids=None, all_lanes=False
+    ) -> None:
+        """Latency-free write (store-through or writeback) into the L2.
 
-        Mirrors ``FastHierarchySimulator._l2_write``: hits are marked dirty,
-        misses allocate (dirty) without charging latency or memory traffic —
-        dirty victims of a write allocation are dropped, exactly like the
-        fast engine.  ``uid`` is the scalar store target; writebacks pass
-        per-lane ``uids``.
+        Write-back L2 mirrors ``FastHierarchySimulator._l2_write``: hits are
+        marked dirty, misses allocate (dirty) without charging latency or
+        memory traffic — dirty victims of a write allocation are dropped,
+        exactly like the fast engine.  A write-through L2 never holds dirty
+        lines and never write-allocates: hits only touch the replacement
+        metadata, misses forward the write to memory (one memory access,
+        still latency-free — the cost model charges the writeback at the
+        call site).  ``uid`` is the scalar store target; writebacks pass
+        per-lane ``uids``.  Counter traffic goes to ``acc``.
         """
         if all_lanes:
-            l2.accesses += 1
+            acc.write_all += 1
         else:
-            l2.accesses[idx] += 1
+            acc.write.append(idx)
+        wb = l2.write_back
         if uids is None:
             if l2.resident[uid] == l2.n_lanes:
-                if all_lanes:
-                    cells = l2.occ_cell[uid] * l2.ways + l2.way_of[uid]
-                else:
-                    cells = l2.occ_cell[uid][idx] * l2.ways + l2.way_of[uid][idx]
-                l2.touch_cells(cells)
-                l2.dirty[cells] = True
+                if l2.touches:
+                    if all_lanes:
+                        ways = l2.way_of[uid]
+                        cells = l2.way_cell[uid] + ways
+                        occ = l2.occ_cell[uid]
+                    else:
+                        ways = l2.way_of[uid][idx]
+                        cells = l2.way_cell[uid][idx] + ways
+                        occ = l2.occ_cell[uid][idx]
+                    l2.touch_cells(cells, occ, ways)
+                if wb:
+                    if all_lanes:
+                        l2.dirty_line[uid] = True
+                    else:
+                        l2.dirty_line[uid, idx] = True
                 return
             occ = l2.occ_cell[uid][idx]
             ways = l2.way_of[uid][idx]
@@ -600,49 +975,72 @@ class _VectorSimulator:
         hit = ways >= 0
         hit_pos = np.nonzero(hit)[0]
         if hit_pos.size:
-            cells = occ[hit_pos] * l2.ways + ways[hit_pos]
-            l2.touch_cells(cells)
-            l2.dirty[cells] = True
+            if l2.touches:
+                occ_hit = occ[hit_pos]
+                ways_hit = ways[hit_pos]
+                cells = occ_hit * l2.ways + ways_hit
+                l2.touch_cells(cells, occ_hit, ways_hit)
+            if wb:
+                if uids is None:
+                    l2.dirty_line[uid, idx[hit_pos]] = True
+                else:
+                    l2.dirty_line[uids[hit_pos], idx[hit_pos]] = True
         miss = np.nonzero(~hit)[0]
         if not miss.size:
             return
         miss_idx = idx[miss]
-        l2.misses[miss_idx] += 1
+        acc.l2_miss.append(miss_idx)
+        if not wb:
+            # No-write-allocate: the write goes straight to memory.
+            acc.memonly.append(miss_idx)
+            return
         fill_uids = uid if uids is None else uids[miss]
         l2.allocate(miss_idx, occ[miss], fill_uids, True)
 
     def _plan_l2_demand(
         self, l2, idx, uid, is_write, extra_cycles, memory_accesses,
-        writeback_latency, memory_latency, all_lanes=False,
+        writeback_latency, acc, all_lanes=False,
     ) -> None:
-        """Demand fill of ``uid`` in the L2 for the given lanes (with latency)."""
-        if all_lanes:
-            l2.accesses += 1
-        else:
-            l2.accesses[idx] += 1
+        """Demand fill of ``uid`` in the L2 for the given lanes.
+
+        The caller records the lookup itself (access count + L2 hit latency)
+        in ``acc``; this method adds the miss-side events.
+        """
+        dirty_write = is_write and l2.write_back
         resident = int(l2.resident[uid])
         if resident == l2.n_lanes:
-            if l2.lru or is_write:
+            if l2.touches:
                 if all_lanes:
-                    cells = l2.occ_cell[uid] * l2.ways + l2.way_of[uid]
+                    ways = l2.way_of[uid]
+                    cells = l2.way_cell[uid] + ways
+                    occ = l2.occ_cell[uid]
                 else:
-                    cells = l2.occ_cell[uid][idx] * l2.ways + l2.way_of[uid][idx]
-                l2.touch_cells(cells)
-                if is_write:
-                    l2.dirty[cells] = True
+                    ways = l2.way_of[uid][idx]
+                    cells = l2.way_cell[uid][idx] + ways
+                    occ = l2.occ_cell[uid][idx]
+                l2.touch_cells(cells, occ, ways)
+            if dirty_write:
+                if all_lanes:
+                    l2.dirty_line[uid] = True
+                else:
+                    l2.dirty_line[uid, idx] = True
             return
         if resident:
             occ = l2.occ_cell[uid][idx] if not all_lanes else l2.occ_cell[uid]
             ways = l2.way_of[uid][idx] if not all_lanes else l2.way_of[uid]
             hit = ways >= 0
             miss = np.nonzero(~hit)[0]
-            if l2.lru or is_write:
+            if l2.touches or dirty_write:
                 hit_pos = np.nonzero(hit)[0]
                 if hit_pos.size:
-                    cells = occ[hit_pos] * l2.ways + ways[hit_pos]
-                    l2.touch_cells(cells)
-                    if is_write:
-                        l2.dirty[cells] = True
+                    if l2.touches:
+                        occ_hit = occ[hit_pos]
+                        ways_hit = ways[hit_pos]
+                        cells = occ_hit * l2.ways + ways_hit
+                        l2.touch_cells(cells, occ_hit, ways_hit)
+                    if dirty_write:
+                        hit_lanes = idx[hit_pos] if not all_lanes else hit_pos
+                        l2.dirty_line[uid, hit_lanes] = True
             if not miss.size:
                 return
             miss_idx = idx[miss]
@@ -653,9 +1051,17 @@ class _VectorSimulator:
             occ_miss = l2.occ_cell[uid][idx] if not all_lanes else l2.occ_cell[uid]
             miss_all = all_lanes
         if miss_all:
-            l2.misses += 1
+            acc.l2_miss_all += 1
         else:
-            l2.misses[miss_idx] += 1
+            acc.l2_miss.append(miss_idx)
+        if is_write and not l2.write_back:
+            # Write-through store missing the L2 too: no-write-allocate, the
+            # store goes to memory (no victim draw, no fill).
+            if miss_all:
+                acc.mem_all += 1
+            else:
+                acc.mem.append(miss_idx)
+            return
         wb_lanes, _wb_uids = l2.allocate(
             miss_idx, occ_miss, uid, is_write, collect=True, all_lanes=miss_all
         )
@@ -663,11 +1069,9 @@ class _VectorSimulator:
             extra_cycles[wb_lanes] += writeback_latency
             memory_accesses[wb_lanes] += 1
         if miss_all:
-            extra_cycles += memory_latency
-            memory_accesses += 1
+            acc.mem_all += 1
         else:
-            extra_cycles[miss_idx] += memory_latency
-            memory_accesses[miss_idx] += 1
+            acc.mem.append(miss_idx)
 
     # -------------------------------------------- interpreter (fallback) path
 
@@ -698,8 +1102,8 @@ class _VectorSimulator:
             hit = match.any(axis=1)
             all_hit = hit.all()
 
-            # ----- L1 hits: LRU touch, store dirty/write-through traffic.
-            if l1.lru or is_store:
+            # ----- L1 hits: replacement touch, store dirty/WT traffic.
+            if l1.touches or is_store:
                 hit_idx = lanes if all_hit else np.nonzero(hit)[0]
                 if hit_idx.size:
                     hit_sets = sets[hit_idx]
@@ -710,7 +1114,8 @@ class _VectorSimulator:
                             l1.dirty[hit_idx, hit_sets, hit_ways] = True
                         elif l2 is not None:
                             self._l2_write(
-                                l2, hit_idx, np.full(hit_idx.size, uid)
+                                l2, hit_idx, np.full(hit_idx.size, uid),
+                                memory_accesses,
                             )
                         else:
                             memory_accesses[hit_idx] += 1
@@ -745,7 +1150,9 @@ class _VectorSimulator:
             if writeback_lanes is not None:
                 if l2 is not None:
                     extra_cycles[writeback_lanes] += writeback_latency
-                    self._l2_write(l2, writeback_lanes, writeback_uids)
+                    self._l2_write(
+                        l2, writeback_lanes, writeback_uids, memory_accesses
+                    )
                 else:
                     extra_cycles[writeback_lanes] += memory_latency
                     memory_accesses[writeback_lanes] += 1
@@ -778,7 +1185,7 @@ class _VectorSimulator:
         if hit_idx.size:
             hit_ways = match[hit].argmax(axis=1)
             l2.touch(hit_idx, sets[hit], hit_ways)
-            if is_write:
+            if is_write and l2.write_back:
                 l2.dirty[hit_idx, sets[hit], hit_ways] = True
         miss = ~hit
         miss_idx = idx[miss]
@@ -786,6 +1193,12 @@ class _VectorSimulator:
             return
         miss_sets = sets[miss]
         l2.misses[miss_idx] += 1
+        if is_write and not l2.write_back:
+            # Write-through L2 store miss: no-write-allocate, straight to
+            # memory (no victim draw, no fill).
+            extra_cycles[miss_idx] += memory_latency
+            memory_accesses[miss_idx] += 1
+            return
         victim_way = l2.choose_victim(miss_idx, miss_sets)
         victim_tags = l2.tags[miss_idx, miss_sets, victim_way]
         dirty_victim = (victim_tags >= 0) & l2.dirty[miss_idx, miss_sets, victim_way]
@@ -795,18 +1208,20 @@ class _VectorSimulator:
             memory_accesses[dirty_lanes] += 1
         l2.tags[miss_idx, miss_sets, victim_way] = tag
         l2.victims[miss_idx, miss_sets, victim_way] = uid
-        l2.dirty[miss_idx, miss_sets, victim_way] = is_write
+        l2.dirty[miss_idx, miss_sets, victim_way] = is_write and l2.write_back
         l2.touch(miss_idx, miss_sets, victim_way)
         extra_cycles[miss_idx] += memory_latency
         memory_accesses[miss_idx] += 1
 
     @staticmethod
-    def _l2_write(l2, idx, uids) -> None:
-        """Latency-free write-through/writeback update of the L2.
+    def _l2_write(l2, idx, uids, memory_accesses) -> None:
+        """Latency-free write (store-through or writeback) into the L2.
 
-        Mirrors ``FastHierarchySimulator._l2_write``: hits are marked dirty,
-        misses allocate (dirty) without charging latency or memory traffic.
-        ``uids`` is a per-lane array (writeback targets differ across seeds).
+        Write-back L2 mirrors ``FastHierarchySimulator._l2_write``: hits are
+        marked dirty, misses allocate (dirty) without charging latency or
+        memory traffic.  A write-through L2 never dirties and never
+        write-allocates: hits only touch, misses go to memory.  ``uids`` is
+        a per-lane array (writeback targets differ across seeds).
         """
         l2.accesses[idx] += 1
         sets = l2.sets_at(idx, uids)
@@ -817,13 +1232,17 @@ class _VectorSimulator:
         if hit_idx.size:
             hit_ways = match[hit].argmax(axis=1)
             l2.touch(hit_idx, sets[hit], hit_ways)
-            l2.dirty[hit_idx, sets[hit], hit_ways] = True
+            if l2.write_back:
+                l2.dirty[hit_idx, sets[hit], hit_ways] = True
         miss = ~hit
         miss_idx = idx[miss]
         if not miss_idx.size:
             return
         miss_sets = sets[miss]
         l2.misses[miss_idx] += 1
+        if not l2.write_back:
+            memory_accesses[miss_idx] += 1
+            return
         victim_way = l2.choose_victim(miss_idx, miss_sets)
         l2.tags[miss_idx, miss_sets, victim_way] = tags[miss]
         l2.victims[miss_idx, miss_sets, victim_way] = uids[miss]
@@ -852,6 +1271,15 @@ class NumpyEngine(Engine):
     ) -> None:
         self.max_lanes = max_lanes
         self.use_plan = use_plan
+
+    def plan_fallback(self) -> str:
+        from .plan import REPLACEMENT_NAMES
+
+        return (
+            "configs outside the plan model (replacement not in "
+            f"{'/'.join(REPLACEMENT_NAMES)}) fall back to the per-access "
+            "interpreter; the simulator's plan_error names the reason"
+        )
 
     def simulator(
         self, config: HierarchyConfig, compiled: CompiledTrace

@@ -26,16 +26,21 @@ access can be dropped from the simulated program entirely:
 
 Write-through stores never allocate and never evict, so they never
 *establish* a residence guarantee; in a write-back cache every access
-(re-)establishes the guarantee for its line.  Under LRU replacement a
-write-through store hitting a *different* line than the guaranteed one
-still touches that line's stamp, so the guaranteed line may stop being
-most-recently-used — the guarantee (which licenses skipping the LRU touch)
-is dropped for any non-same-line write-through store.  Elided accesses are
-free: base latency already charges one L1 hit per trace entry, repeated LRU
-touches of the most-recently-used way preserve the relative stamp order, a
-write-back store hit folds into a ``dirty_after`` flag on its *anchor* (the
-step that established the guarantee), and a write-through store hit with no
-L2 contributes one memory access — a per-trace constant.  The one case that
+(re-)establishes the guarantee for its line.  Replacement policies whose
+hits mutate per-set metadata (LRU stamps, PLRU tree bits —
+``touches_on_hit``) add one demotion rule: a write-through store hitting a
+*different* line than the guaranteed one still touches that line's
+metadata, so the guaranteed line may stop being most-recently-used (LRU) or
+the tree bits may be redirected (PLRU) — the guarantee (which licenses
+skipping the touch) is dropped for any non-same-line write-through store.
+Random and FIFO replacement have stateless hits (FIFO's cyclic counter
+advances only on evictions), so the guarantee survives those stores.
+Elided accesses are free: base latency already charges one L1 hit per trace
+entry, repeated touches of the most-recently-used way preserve the relative
+LRU stamp order and are exactly idempotent on PLRU tree bits, a write-back
+store hit folds into a ``dirty_after`` flag on its *anchor* (the step that
+established the guarantee), and a write-through store hit with no L2
+contributes one memory access — a per-trace constant.  The one case that
 cannot be elided is a write-through store hit with an L2 behind it: each one
 advances shared L2 state, so it stays a step (flagged ``sure_hit`` so the
 executor skips the lookup).
@@ -50,9 +55,10 @@ aggregation that drives the deterministic elision rule.
 **Conflict signatures and seed invariance.**
 Each cache level gets a :class:`SlotSignature` describing whether its
 behaviour can depend on the seed at all.  A slot is *inert* when its
-placement is deterministic and either replacement is LRU or no set is ever
-oversubscribed (at most ``ways`` distinct lines map to any set, so the
-random-replacement victim stream is never drawn).  When every slot is inert
+placement is deterministic and either replacement is deterministic too
+(LRU, FIFO, PLRU) or no set is ever oversubscribed (at most ``ways``
+distinct lines map to any set, so the random victim stream is never
+drawn).  When every slot is inert
 the whole hierarchy is **seed-invariant**: all seeds are provably in one
 equivalence class, and a campaign of any size collapses to one simulated
 lane whose result is replicated (the deterministic-layout platforms of the
@@ -69,6 +75,11 @@ import numpy as np
 from ..cache.cache import WRITE_BACK, CacheConfig
 from ..cache.fastsim import FETCH_KIND, STORE_KIND, CompiledTrace
 from ..cache.hierarchy import HierarchyConfig
+from ..cache.replacement import (
+    REPLACEMENT_NAMES,
+    replacement_is_randomized,
+    replacement_touches_on_hit,
+)
 from ..core.placement import make_placement, placement_is_randomized
 
 __all__ = [
@@ -89,9 +100,10 @@ class SlotSignature:
 
     Two seeds can only produce different results in this slot if the
     signature says so: a deterministic placement pins the set map, and with
-    LRU replacement (or sets that never overflow their associativity) the
-    victim stream is never consulted either — the slot is ``inert`` and
-    behaves identically under every seed.
+    deterministic replacement (LRU, FIFO, PLRU — or sets that never
+    overflow their associativity) the random victim stream is never
+    consulted either — the slot is ``inert`` and behaves identically under
+    every seed.
     """
 
     name: str
@@ -187,7 +199,8 @@ def _slot_signature(
         else:
             max_lines_per_set = 0
         inert = (
-            config.replacement == "lru" or max_lines_per_set <= config.ways
+            not replacement_is_randomized(config.replacement)
+            or max_lines_per_set <= config.ways
         )
     return SlotSignature(
         name=name,
@@ -211,19 +224,17 @@ def compile_plan(config: HierarchyConfig, compiled: CompiledTrace) -> TracePlan:
     for cache_config in (config.il1, config.dl1, config.l2):
         if cache_config is None:
             continue
-        if cache_config.replacement not in ("random", "lru"):
+        if cache_config.replacement not in REPLACEMENT_NAMES:
             raise PlanUnsupported(
-                f"plan compiler supports 'random' and 'lru' replacement, "
+                f"plan compiler supports {REPLACEMENT_NAMES} replacement, "
                 f"got {cache_config.replacement!r} for {cache_config.name}"
             )
-    if config.l2 is not None and config.l2.write_policy != WRITE_BACK:
-        raise PlanUnsupported("plan compiler models the L2 as write-back only")
 
     lines = np.array(compiled.unique_lines, dtype=np.uint64)
     has_l2 = config.l2 is not None
     slot_configs = (config.il1, config.dl1)
     write_back = [c.write_policy == WRITE_BACK for c in slot_configs]
-    lru = [c.replacement == "lru" for c in slot_configs]
+    touches = [replacement_touches_on_hit(c.replacement) for c in slot_configs]
     # Deterministic slots elide per set; randomized slots use one whole-slot
     # guarantee (key -1).
     set_keys: List[Optional[List[int]]] = [
@@ -267,10 +278,13 @@ def compile_plan(config: HierarchyConfig, compiled: CompiledTrace) -> TracePlan:
         steps.append([slot, uid, is_store, sure_hit, False])
         if not wt_store:
             guard[key] = (uid, index)
-        elif lru[slot] and not sure_hit:
+        elif touches[slot] and not sure_hit:
             # A write-through store to a different line may touch that
-            # line's LRU stamp (if it hits), demoting the guaranteed line
-            # from most-recently-used; the touch-elision licence is gone.
+            # line's replacement metadata (if it hits) — demoting the
+            # guaranteed line from most-recently-used under LRU, or
+            # redirecting the tree bits under PLRU; the touch-elision
+            # licence is gone.  Random and FIFO hits are stateless, so the
+            # guarantee survives.
             guard.pop(key, None)
 
     signatures = []

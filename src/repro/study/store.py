@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..analysis.campaign import CampaignResult
+from ..engine.mapcache import adopt_map_directory
 from .scenario import SPEC_VERSION, Scenario
 
 __all__ = ["DEFAULT_STORE_DIR", "StoredResult", "ResultStore"]
@@ -68,6 +69,10 @@ class ResultStore:
 
     def __init__(self, root: Union[str, Path] = DEFAULT_STORE_DIR) -> None:
         self.root = Path(root)
+        # Campaigns executed against this store cache their placement maps
+        # beside the results, so resumed shards and overlapping sweeps reuse
+        # maps another process already built (REPRO_MAP_CACHE_DIR wins).
+        adopt_map_directory(self.map_root)
 
     def path_for(self, spec_hash: str) -> Path:
         return self.root / f"{spec_hash}.json"
@@ -197,6 +202,13 @@ class ResultStore:
     def queue_root(self) -> Path:
         """Directory of the store's shard work queue (:class:`repro.exec.FileQueue`)."""
         return self.root / "queue"
+
+    @property
+    def map_root(self) -> Path:
+        """Directory of memoized placement maps (:mod:`repro.engine.mapcache`),
+        content-addressed and bit-packed.  A subdirectory, so campaign entries
+        and :meth:`keys` are unaffected."""
+        return self.root / "maps"
 
     def shard_path_for(self, spec_hash: str, key: str) -> Path:
         return self.shard_root / f"{spec_hash}.{key}.json"

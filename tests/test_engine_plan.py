@@ -9,6 +9,8 @@ diff instead of a counter mismatch three layers down.
 """
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cache.cache import CacheConfig
 from repro.cache.fastsim import CompiledTrace
@@ -268,14 +270,116 @@ class TestPlanShape:
         assert plan.seed_invariant  # trivially: nothing can diverge
 
 
-class TestPlanUnsupported:
-    def test_unsupported_replacement_raises(self):
-        config = make_config(l1_replacement="fifo")
-        with pytest.raises(PlanUnsupported, match="fifo"):
-            plan_for(config, [("fetch", 0)])
+class TestPlanCoverage:
+    """Every registered replacement policy and write policy compiles."""
 
-    def test_write_through_l2_raises(self):
+    @pytest.mark.parametrize("replacement", ["random", "lru", "fifo", "plru"])
+    def test_all_replacement_policies_compile(self, replacement):
+        config = make_config(l1_replacement=replacement)
+        plan = plan_for(config, [("fetch", 0), ("fetch", 1), ("fetch", 0)])
+        assert plan.n_steps >= 1
+
+    def test_write_through_l2_compiles(self):
         config = make_config(with_l2=True)
         object.__setattr__(config.l2, "write_policy", "write-through")
-        with pytest.raises(PlanUnsupported, match="write-back"):
+        plan = plan_for(config, [("fetch", 0), ("store", 1)])
+        assert plan.n_steps == 2
+
+    def test_fifo_hits_keep_guarantees(self):
+        # FIFO never reorders on a hit, so revisits stay elidable even
+        # where LRU-style policies would have to keep the step.
+        plan = plan_for(
+            make_config(l1_replacement="fifo"),
+            [("fetch", 0)] * 4,
+        )
+        assert plan.elided == {"il1": 3, "dl1": 0}
+
+    def test_unknown_replacement_raises(self):
+        config = make_config()
+        object.__setattr__(config.il1, "replacement", "clock")
+        with pytest.raises(PlanUnsupported, match="clock"):
             plan_for(config, [("fetch", 0)])
+
+
+class TestInKernelRouting:
+    """The jit kernel's on-the-fly placement routing vs materialized maps.
+
+    The kernel evaluates hrp/rm set indices per access from a compact
+    routing recipe (:meth:`PlacementPolicy.routing_params`) instead of
+    gathering from a prebuilt ``(lines, seeds)`` matrix; these properties
+    pin the two forms bit-for-bit against each other over random line sets,
+    seeds and geometries.
+    """
+
+    @staticmethod
+    def _fill(policy, name, lines, seed):
+        import numpy as np
+
+        from repro.engine.jit import _fill_sets_hrp, _fill_sets_rm
+
+        params = policy.routing_params()
+        assert params is not None, f"{name} lost its routing recipe"
+        rows = np.arange(len(lines), dtype=np.int64)
+        out = np.zeros(len(lines), dtype=np.int64)
+        with np.errstate(over="ignore"):
+            if name == "hrp":
+                _fill_sets_hrp(
+                    out, lines, rows, np.uint64(seed),
+                    params["index_bits"], params["hash_width"],
+                    params["offset_bits"], params["address_bits"],
+                )
+            else:
+                wire_a = np.array(params["wire_a"], dtype=np.int64)
+                wire_b = np.array(params["wire_b"], dtype=np.int64)
+                _fill_sets_rm(
+                    out, lines, rows, np.uint64(seed),
+                    params["index_bits"], params["n_controls"],
+                    params["upper_bits"], len(wire_a),
+                    params["offset_bits"], params["address_bits"],
+                    wire_a, wire_b,
+                )
+        return out
+
+    @given(
+        name=st.sampled_from(["hrp", "rm"]),
+        num_sets=st.sampled_from([8, 16, 64, 128]),
+        line_ids=st.lists(
+            st.integers(0, 2**20 - 1), min_size=1, max_size=40, unique=True
+        ),
+        seeds=st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_routing_matches_materialized_maps(
+        self, name, num_sets, line_ids, seeds
+    ):
+        import numpy as np
+
+        from repro.core.placement import PlacementGeometry, make_placement
+
+        geometry = PlacementGeometry(
+            num_sets=num_sets, line_size=32, address_bits=32
+        )
+        policy = make_placement(name, geometry, seed=0)
+        # Byte addresses of whole lines: the kernel masks and shifts the
+        # address itself, so feeding it anything but real addresses would
+        # hide an offset-handling bug.
+        lines = (np.array(line_ids, dtype=np.uint64) * 32) + 0x40000000
+        want = policy.set_index_matrix(lines, [int(s) for s in seeds])
+        for column, seed in enumerate(seeds):
+            got = self._fill(policy, name, lines, seed)
+            assert got.tolist() == [int(x) for x in want[:, column]]
+            assert ((got >= 0) & (got < num_sets)).all()
+
+    def test_routing_kinds_reports_the_strategy(self):
+        from repro.engine import JitEngine
+        from repro.platform.leon3 import platform_setup
+        from repro.workloads.eembc import eembc_trace
+
+        compiled = CompiledTrace(eembc_trace("bitmnp"))
+        simulator = JitEngine(force_python=True).simulator(
+            platform_setup("rm"), compiled
+        )
+        kinds = simulator.routing_kinds()
+        # The leon3 "rm" setup routes both L1s through the switch network
+        # and the L2 through the parametric hash — both in-kernel.
+        assert kinds == ["rm", "rm", "hrp"]

@@ -1,0 +1,197 @@
+"""The two-tier placement-map cache (repro.engine.mapcache).
+
+The maps themselves are pure functions pinned by the placement tests; what
+these tests certify is the *caching*: memory hits return the shared frozen
+array, disk entries round-trip through the bit-packed format, corrupt
+entries self-heal instead of poisoning results, and concurrent writers race
+benignly through the atomic-rename protocol.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.placement import PlacementGeometry, make_placement
+from repro.engine import mapcache
+from repro.engine.mapcache import (
+    cached_set_index_matrix,
+    configure_map_cache,
+    map_cache_stats,
+    map_digest,
+    reset_map_cache,
+)
+
+LINES = np.arange(64, dtype=np.uint64) * 32 + 0x40000000
+SEEDS = [1, 2, 0xDEADBEEF]
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path):
+    """Point the module's global cache at a temp dir, restore after."""
+    saved = (
+        mapcache._disk_dir,
+        mapcache._dir_pinned,
+        mapcache._memory_entries,
+        mapcache._enabled,
+    )
+    reset_map_cache()
+    directory = tmp_path / "maps"
+    configure_map_cache(directory=directory, memory_entries=32, enabled=True)
+    yield directory
+    reset_map_cache()
+    (
+        mapcache._disk_dir,
+        mapcache._dir_pinned,
+        mapcache._memory_entries,
+        mapcache._enabled,
+    ) = saved
+
+
+def _policy(name="rm", num_sets=16, seed=0):
+    geometry = PlacementGeometry(num_sets=num_sets, line_size=32, address_bits=32)
+    return make_placement(name, geometry, seed=seed)
+
+
+class TestTiers:
+    def test_values_match_the_uncached_build(self):
+        policy = _policy()
+        cached = cached_set_index_matrix(policy, LINES, SEEDS)
+        direct = policy.set_index_matrix(LINES, list(SEEDS))
+        assert cached.shape == (len(LINES), len(SEEDS))
+        assert (cached.astype(np.int64) == direct.astype(np.int64)).all()
+
+    def test_memory_hit_returns_the_shared_frozen_array(self):
+        policy = _policy()
+        first = cached_set_index_matrix(policy, LINES, SEEDS)
+        second = cached_set_index_matrix(policy, LINES, SEEDS)
+        assert second is first  # the LRU shares, it does not copy
+        assert not first.flags.writeable
+        stats = map_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["memory_hits"] == 1
+        assert stats["disk_writes"] == 1
+
+    def test_disk_hit_after_the_memory_tier_is_dropped(self):
+        policy = _policy()
+        first = cached_set_index_matrix(policy, LINES, SEEDS).copy()
+        reset_map_cache(stats=False)  # drop memory, keep the disk entry
+        again = cached_set_index_matrix(policy, LINES, SEEDS)
+        assert (again == first).all()
+        assert map_cache_stats()["disk_hits"] == 1
+        assert map_cache_stats()["misses"] == 1  # only the original build
+
+    def test_narrow_dtype_storage(self):
+        assert cached_set_index_matrix(_policy(num_sets=16), LINES, SEEDS).dtype == np.uint8
+        assert (
+            cached_set_index_matrix(_policy(num_sets=1024), LINES, SEEDS).dtype
+            == np.uint16
+        )
+
+    def test_digest_separates_policy_lines_and_seeds(self):
+        policy = _policy()
+        base = map_digest(policy, LINES, SEEDS)
+        assert map_digest(policy, LINES, [9, 10]) != base
+        assert map_digest(policy, LINES[:32], SEEDS) != base
+        assert map_digest(_policy(num_sets=64), LINES, SEEDS) != base
+        assert map_digest(_policy(name="hrp"), LINES, SEEDS) != base
+
+    def test_disabled_cache_bypasses_both_tiers(self, isolated_cache):
+        configure_map_cache(enabled=False)
+        policy = _policy()
+        first = cached_set_index_matrix(policy, LINES, SEEDS)
+        second = cached_set_index_matrix(policy, LINES, SEEDS)
+        assert (first == second).all() and first is not second
+        assert not any(isolated_cache.glob("*.map"))
+        assert map_cache_stats()["misses"] == 0
+
+
+class TestSelfHealing:
+    def _corrupt(self, directory, mutate):
+        (entry,) = directory.glob("*.map")
+        mutate(entry)
+        return entry
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda path: path.write_bytes(b"garbage"),
+            lambda path: path.write_bytes(path.read_bytes()[:-3]),  # truncated
+            lambda path: path.write_bytes(
+                path.read_bytes()[:-1] + bytes([path.read_bytes()[-1] ^ 0xFF])
+            ),  # bit flip in the payload
+        ],
+        ids=["bad-magic", "truncated", "bit-flip"],
+    )
+    def test_corrupt_entries_count_as_misses_and_are_rewritten(
+        self, isolated_cache, mutate
+    ):
+        policy = _policy()
+        want = cached_set_index_matrix(policy, LINES, SEEDS).copy()
+        self._corrupt(isolated_cache, mutate)
+        reset_map_cache(stats=False)
+        healed = cached_set_index_matrix(policy, LINES, SEEDS)
+        assert (healed == want).all()
+        assert map_cache_stats()["corrupt"] == 1
+        # The rebuild rewrote the entry: a third pass hits clean disk.
+        reset_map_cache(stats=False)
+        assert (cached_set_index_matrix(policy, LINES, SEEDS) == want).all()
+        assert map_cache_stats()["corrupt"] == 1
+        assert map_cache_stats()["disk_hits"] == 1
+
+    def test_geometry_mismatch_is_treated_as_corruption(self, isolated_cache):
+        policy = _policy()
+        cached_set_index_matrix(policy, LINES, SEEDS)
+        (entry,) = isolated_cache.glob("*.map")
+        # Forge a different geometry under the same digest name.
+        other = _policy(num_sets=64)
+        reset_map_cache(stats=False)
+        cached_set_index_matrix(other, LINES, SEEDS)
+        forged = [p for p in isolated_cache.glob("*.map") if p != entry]
+        entry.write_bytes(forged[0].read_bytes())
+        reset_map_cache(stats=False)
+        healed = cached_set_index_matrix(policy, LINES, SEEDS)
+        assert (healed.astype(np.int64) < 16).all()
+        assert map_cache_stats()["corrupt"] == 1
+
+
+class TestConcurrency:
+    def test_concurrent_writers_race_benignly(self, isolated_cache):
+        """Many threads building the same missing map: the atomic rename
+        protocol means every thread ends with identical bytes on disk and
+        identical values in hand."""
+        configure_map_cache(memory_entries=0)  # force every call to disk
+        policy = _policy()
+        results = []
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            try:
+                barrier.wait(timeout=30)
+                results.append(cached_set_index_matrix(policy, LINES, SEEDS))
+            except Exception as error:  # pragma: no cover - failure detail
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert len(results) == 8
+        baseline = results[0]
+        for matrix in results[1:]:
+            assert (matrix == baseline).all()
+        # No temp files left behind; the surviving entry reads back clean.
+        assert not list(isolated_cache.glob("*.tmp"))
+        reset_map_cache(stats=False)
+        final = cached_set_index_matrix(policy, LINES, SEEDS)
+        assert (final == baseline).all()
+
+    def test_memory_lru_is_bounded(self):
+        configure_map_cache(memory_entries=2)
+        policies = [_policy(num_sets=sets) for sets in (8, 16, 32, 64)]
+        for policy in policies:
+            cached_set_index_matrix(policy, LINES, SEEDS)
+        assert len(mapcache._memory) == 2

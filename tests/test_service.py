@@ -701,6 +701,29 @@ class TestSubmitCli:
         job_id = out.split()[1].rstrip(":")
         assert client.wait(job_id, timeout=120)["state"] == "done"
 
+    def test_submit_follow_renders_the_event_stream(
+        self, tmp_path, start_server, capsys
+    ):
+        store = ResultStore(tmp_path / "store")
+        server, _ = start_server(store)
+        url = f"http://127.0.0.1:{server.bound_port}"
+        argv = ["submit", "fig5", "--runs", "24", "--scale", "0.05",
+                "--url", url, "--follow"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "submitted: 2 scenario(s)" in out
+        assert "started" in out
+        assert "scenario " in out
+        assert "completed:" in out
+        # The final payload is still rendered after the stream closes.
+        assert ": done" in out
+        assert "pWCET@" in out
+
+    def test_submit_follow_conflicts_with_no_wait(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["submit", "fig5", "--runs", "24", "--follow", "--no-wait"])
+        assert "--no-wait" in capsys.readouterr().err
+
     def test_submit_against_no_server_fails_cleanly(self, capsys):
         assert (
             main(
