@@ -18,6 +18,11 @@ Usage::
     python -m repro study compare fig5 fig5     # diff two executed studies
     python -m repro study clean                 # drop the result store
 
+    python -m repro query runs                  # the run table, zero reruns
+    python -m repro query runs --study fig5 --where "admitted"
+    python -m repro query export table.csv --estimator gumbel-pwm
+    python -m repro query compare rm hrp --cutoff 1e-15
+
     python -m repro run fig4a --estimator gumbel-mle
     python -m repro pwcet list                  # registered pWCET estimators
     python -m repro pwcet compare fig5 --runs 24  # all estimators side by side
@@ -87,7 +92,13 @@ from dataclasses import replace
 from typing import Dict, Optional
 
 from .analysis.experiments import ExperimentSettings
-from .analysis.report import CSV_HEADER, RESULT_FORMATS, render_result
+from .analysis.report import (
+    CSV_HEADER,
+    QUERY_FORMATS,
+    RESULT_FORMATS,
+    render_result,
+    render_rows,
+)
 from .engine import engine_capabilities, get_engine, registered_engines
 from .pwcet import (
     MBPTA_MIN_RUNS,
@@ -388,6 +399,80 @@ def build_parser() -> argparse.ArgumentParser:
         "shard publishes, worker heartbeats) while waiting for the job",
     )
 
+    query = subparsers.add_parser(
+        "query",
+        help="query the run table assembled from a result store (zero reruns)",
+    )
+    query_commands = query.add_subparsers(dest="query_command", required=True)
+
+    def _add_query_filters(command: argparse.ArgumentParser) -> None:
+        _add_store_argument(command)
+        command.add_argument("--study", default=None, help="only rows recorded by this study")
+        command.add_argument("--workload", default=None, help="only rows for this workload label")
+        command.add_argument("--setup", default=None, help="only rows for this hierarchy setup")
+        command.add_argument(
+            "--estimator", default=None, help="only rows analysed with this estimator"
+        )
+        command.add_argument(
+            "--where",
+            default=None,
+            help="per-row Python predicate over the row fields, e.g. "
+            "\"l2_miss_rate < 0.01 and admitted\" or "
+            "\"pwcet['1e-15'] < 60000\"",
+        )
+        command.add_argument(
+            "--refresh",
+            action="store_true",
+            help="rebuild every row from the store (ignore the incremental cache)",
+        )
+
+    query_runs = query_commands.add_parser(
+        "runs", help="list run-table rows matching the filters"
+    )
+    _add_query_filters(query_runs)
+    query_runs.add_argument(
+        "--limit", type=int, default=None, help="print at most this many rows"
+    )
+    query_runs.add_argument(
+        "--format",
+        choices=QUERY_FORMATS,
+        default="table",
+        dest="output_format",
+        help="aligned table (default), CSV, or a JSON row list",
+    )
+
+    query_export = query_commands.add_parser(
+        "export", help="export the (filtered) run table to CSV or Parquet"
+    )
+    _add_query_filters(query_export)
+    query_export.add_argument(
+        "output",
+        help="destination file; a .parquet suffix selects Parquet "
+        "(needs pandas + pyarrow), anything else CSV",
+    )
+
+    query_compare = query_commands.add_parser(
+        "compare",
+        help="compare two hierarchy setups at a pWCET cutoff "
+        "(e.g. where hrp beats rm at 1e-15), from stored analyses only",
+    )
+    _add_query_filters(query_compare)
+    query_compare.add_argument("setup_a", help="baseline setup label (e.g. rm)")
+    query_compare.add_argument("setup_b", help="challenger setup label (e.g. hrp)")
+    query_compare.add_argument(
+        "--cutoff",
+        type=float,
+        default=1e-15,
+        help="exceedance probability to compare at (default: %(default)g)",
+    )
+    query_compare.add_argument(
+        "--format",
+        choices=QUERY_FORMATS,
+        default="table",
+        dest="output_format",
+        help="aligned table (default), CSV, or a JSON row list",
+    )
+
     pwcet = subparsers.add_parser(
         "pwcet", help="pWCET estimator registry and cross-estimator views"
     )
@@ -556,6 +641,118 @@ def _pwcet_command(parser: argparse.ArgumentParser, args: argparse.Namespace) ->
     print(
         render_result(
             f"pwcet-compare:{args.experiment}", comparison, args.output_format
+        )
+    )
+    return 0
+
+
+def _query_table(parser: argparse.ArgumentParser, args: argparse.Namespace):
+    """Build + filter the run table per the shared query flags."""
+    from .study.runtable import build_run_table
+
+    table = build_run_table(ResultStore(args.store), refresh=args.refresh)
+    try:
+        return table.filter(
+            study=args.study,
+            workload=args.workload,
+            setup=args.setup,
+            estimator=args.estimator,
+            where=args.where,
+        )
+    except ValueError as error:
+        parser.error(str(error))
+
+
+def _query_command(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """The ``python -m repro query {runs,export,compare}`` surface.
+
+    Every subcommand reads only the store — no simulations, no EVT fits.
+    """
+    if args.query_command == "runs":
+        table = _query_table(parser, args)
+        if args.limit is not None:
+            if args.limit < 0:
+                parser.error(f"--limit must be >= 0, got {args.limit}")
+            table.rows = table.rows[: args.limit]
+        print(
+            render_rows(
+                table.export_columns(),
+                table.export_rows(),
+                args.output_format,
+                title=f"run table: {len(table)} row(s) from {args.store}",
+            )
+        )
+        return 0
+
+    if args.query_command == "export":
+        table = _query_table(parser, args)
+        try:
+            if str(args.output).endswith(".parquet"):
+                destination = table.to_parquet(args.output)
+            else:
+                destination = table.to_csv(args.output)
+        except RuntimeError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(f"exported {len(table)} row(s) to {destination}")
+        return 0
+
+    # query_command == "compare"
+    table = _query_table(parser, args)
+    sides = {
+        side: {
+            (row["workload"], row["estimator"]): row
+            for row in table.filter(setup=side).rows
+            if row.get("estimator")
+        }
+        for side in (args.setup_a, args.setup_b)
+    }
+
+    def quantile(row: Dict[str, object]) -> Optional[float]:
+        for probability, value in row.get("pwcet", {}).items():  # type: ignore[union-attr]
+            try:
+                matches = float(probability) == args.cutoff
+            except (ValueError, TypeError):
+                continue
+            if matches:
+                return float(value)  # type: ignore[arg-type]
+        return None
+
+    rows = []
+    for key in sorted(sides[args.setup_a].keys() & sides[args.setup_b].keys()):
+        value_a = quantile(sides[args.setup_a][key])
+        value_b = quantile(sides[args.setup_b][key])
+        if value_a is None or value_b is None:
+            continue
+        workload, estimator = key
+        winner = args.setup_a if value_a <= value_b else args.setup_b
+        rows.append(
+            [
+                workload,
+                estimator,
+                round(value_a, 3),
+                round(value_b, 3),
+                round(value_b / value_a, 6) if value_a else "",
+                winner,
+            ]
+        )
+    headers = [
+        "workload",
+        "estimator",
+        f"pwcet@{args.cutoff:g} {args.setup_a}",
+        f"pwcet@{args.cutoff:g} {args.setup_b}",
+        "ratio b/a",
+        "winner",
+    ]
+    print(
+        render_rows(
+            headers,
+            rows,
+            args.output_format,
+            title=(
+                f"{args.setup_a} vs {args.setup_b} at {args.cutoff:g}: "
+                f"{len(rows)} matched scenario(s)"
+            ),
         )
     )
     return 0
@@ -804,6 +1001,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "pwcet":
         return _pwcet_command(parser, args)
+
+    if args.command == "query":
+        return _query_command(parser, args)
 
     if args.command == "worker":
         from .exec.worker import run_worker

@@ -28,14 +28,19 @@ __all__ = [
     "format_ratio",
     "format_estimator_comparison",
     "RESULT_FORMATS",
+    "QUERY_FORMATS",
     "CSV_HEADER",
     "result_to_data",
     "flatten_result",
     "render_result",
+    "render_rows",
 ]
 
 #: Formats accepted by :func:`render_result` (and the CLI's ``--format``).
 RESULT_FORMATS = ("text", "json", "csv")
+
+#: Formats accepted by :func:`render_rows` (``repro query --format``).
+QUERY_FORMATS = ("table", "csv", "json")
 
 #: Column names of the rows :func:`render_result` emits for ``csv``.
 CSV_HEADER = "experiment,key,value"
@@ -154,6 +159,36 @@ def format_estimator_comparison(comparison) -> str:
         title="pWCET estimator comparison",
     )
     return "\n".join([table, "", *verdicts])
+
+
+def render_rows(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    fmt: str = "table",
+    title: str = "",
+) -> str:
+    """Render homogeneous (headers, rows) data in one of :data:`QUERY_FORMATS`.
+
+    The row-oriented sibling of :func:`render_result`: ``table`` is the
+    aligned ASCII rendering of :func:`format_table`, ``csv`` emits a header
+    line plus one row per line, and ``json`` emits a list of objects keyed
+    by the headers.  ``repro query`` and any future tabular CLI route
+    through here so the three formats stay consistent.
+    """
+    materialized = [list(row) for row in rows]
+    if fmt == "table":
+        return format_table(headers, materialized, title=title)
+    if fmt == "csv":
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(headers)
+        writer.writerows(materialized)
+        return buffer.getvalue().rstrip("\n")
+    if fmt == "json":
+        return json.dumps(
+            [dict(zip(headers, row)) for row in materialized], sort_keys=True
+        )
+    raise ValueError(f"unknown format {fmt!r}; expected one of {QUERY_FORMATS}")
 
 
 # ---------------------------------------------------------------------------

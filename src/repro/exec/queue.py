@@ -251,4 +251,9 @@ class FileQueue:
                     path.unlink()
                 except OSError:
                     pass
+        # The worker index is bookkeeping, not a heartbeat: removed, uncounted.
+        try:
+            (self.worker_root / "index.log").unlink()
+        except OSError:
+            pass
         return removed

@@ -10,6 +10,13 @@ Heartbeat writes are atomic (temp file + ``os.replace``) and rate-limited
 to one write per :data:`HEARTBEAT_INTERVAL` except on state transitions
 (claim, publish, exit), so telemetry never becomes the bottleneck of a
 short-shard campaign.
+
+Each worker registers its owner once in ``workers/index.log`` (append-only,
+like the store manifest), so :func:`read_heartbeats` — polled by ``exec
+status`` and the analysis server's status endpoint — reads the index plus
+one file per worker instead of globbing the directory every poll.  A
+missing index falls back to the glob, so queues written by older builds
+stay readable.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from .queue import FileQueue
 
 __all__ = [
     "HEARTBEAT_INTERVAL",
+    "WORKER_INDEX_NAME",
     "WorkerHeartbeat",
     "WorkerTelemetry",
     "engine_availability",
@@ -35,6 +43,9 @@ __all__ = [
 #: Minimum seconds between two heartbeat writes of one worker (state
 #: transitions always write).
 HEARTBEAT_INTERVAL = 1.0
+
+#: Append-only owner index beside the heartbeat files.
+WORKER_INDEX_NAME = "index.log"
 
 
 def engine_availability(name: str) -> Optional[str]:
@@ -130,6 +141,7 @@ class WorkerTelemetry:
             last_heartbeat=now,
         )
         self._last_write = 0.0
+        self._indexed = False
         self._write(force=True)
 
     @property
@@ -167,9 +179,28 @@ class WorkerTelemetry:
             temporary = self.path.with_suffix(f".{uuid.uuid4().hex[:8]}.tmp")
             temporary.write_text(json.dumps(self.heartbeat.as_dict(), sort_keys=True))
             os.replace(temporary, self.path)
+            if not self._indexed:
+                # One short O_APPEND line per worker lifetime; readers
+                # deduplicate, so a crash-retry double entry is harmless.
+                with open(self.queue.worker_root / WORKER_INDEX_NAME, "a") as handle:
+                    handle.write(f"{self.owner}\n")
+                self._indexed = True
         except OSError:
             # Telemetry must never take a worker down.
             pass
+
+
+def _heartbeat_paths(queue: FileQueue) -> List:
+    """The heartbeat files to read: index-listed owners, or a glob fallback
+    for queues written before the index existed."""
+    index = queue.worker_root / WORKER_INDEX_NAME
+    try:
+        owners = sorted(
+            {line.strip() for line in index.read_text().splitlines() if line.strip()}
+        )
+    except OSError:
+        return sorted(queue.worker_root.glob("*.json"))
+    return [queue.worker_root / f"{owner}.json" for owner in owners]
 
 
 def read_heartbeats(queue: FileQueue) -> List[WorkerHeartbeat]:
@@ -177,7 +208,7 @@ def read_heartbeats(queue: FileQueue) -> List[WorkerHeartbeat]:
     if not queue.worker_root.is_dir():
         return []
     beats: List[WorkerHeartbeat] = []
-    for path in sorted(queue.worker_root.glob("*.json")):
+    for path in _heartbeat_paths(queue):
         try:
             payload = json.loads(path.read_text())
             beats.append(

@@ -35,6 +35,7 @@ from .registry import (
 )
 from .resultset import ExecutionReport, ResultSet, ScenarioOutcome
 from .runner import execute_scenarios
+from .runtable import RunTable, build_run_table
 from .scenario import HierarchySpec, Scenario, Sweep, WorkloadSpec, expand
 from .store import DEFAULT_STORE_DIR, ResultStore, StoredResult
 from .library import register_builtin_studies
@@ -45,6 +46,7 @@ __all__ = [
     "HierarchySpec",
     "ResultSet",
     "ResultStore",
+    "RunTable",
     "Scenario",
     "ScenarioOutcome",
     "StoredResult",
@@ -54,6 +56,7 @@ __all__ = [
     "Sweep",
     "WorkloadSpec",
     "available_studies",
+    "build_run_table",
     "execute_scenarios",
     "expand",
     "get_study",

@@ -107,6 +107,11 @@ class Study:
             shard_size=getattr(settings, "shard_size", None),
             resume=getattr(settings, "resume", False),
         )
+        if store is not None:
+            # Provenance for the run table: which study produced which entry.
+            store.record_study(
+                self.name, [scenario.spec_hash() for scenario in scenarios]
+            )
         context = StudyContext(settings=settings, results=results, params=dict(params))
         return StudyOutcome(
             study=self, settings=settings, result=self.builder(context), results=results
